@@ -1,0 +1,129 @@
+// Command fedsim runs a single federated-learning experiment: one attack
+// scenario under one aggregation strategy at a chosen scale, streaming
+// per-round progress and finishing with summary statistics.
+//
+// Examples:
+//
+//	fedsim -scenario sign-flip-50 -strategy FedGuard
+//	fedsim -scenario label-flip-40 -strategy FedGuard -server-lr 0.3
+//	fedsim -preset paper -scenario additive-noise-50 -strategy Spectral
+//	fedsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fedguard/internal/experiment"
+	"fedguard/internal/fl"
+	"fedguard/internal/metrics"
+	"fedguard/internal/persist"
+)
+
+func main() {
+	var (
+		preset    = flag.String("preset", "default", "experiment scale: quick, default, paper")
+		scenario  = flag.String("scenario", "no-attack", "attack scenario (see -list)")
+		strategy  = flag.String("strategy", "FedGuard", "aggregation strategy (see -list)")
+		serverLR  = flag.Float64("server-lr", 0, "override server learning rate (0 = preset value)")
+		seed      = flag.Uint64("seed", 0, "override experiment seed (0 = preset value)")
+		rounds    = flag.Int("rounds", 0, "override round count (0 = preset value)")
+		samples   = flag.Int("samples", 0, "override FedGuard synthetic sample count t (0 = preset value)")
+		workers   = flag.Int("workers", 0, "concurrent client trainers (0 = GOMAXPROCS)")
+		csv       = flag.Bool("csv", false, "emit the per-round accuracy series as CSV on stdout")
+		confusion = flag.Bool("confusion", false, "print the final model's confusion matrix on the test set")
+		save      = flag.String("save", "", "write the final global model checkpoint to this path")
+		list      = flag.Bool("list", false, "list scenarios and strategies, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("scenarios:")
+		for _, sc := range experiment.Scenarios() {
+			fmt.Printf("  %-18s %s\n", sc.ID, sc.Description)
+		}
+		fmt.Println("strategies:")
+		fmt.Printf("  %s\n", strings.Join(experiment.ExtendedStrategyNames(), ", "))
+		return
+	}
+
+	setup, err := experiment.NewSetup(experiment.Preset(*preset))
+	if err != nil {
+		fatal(err)
+	}
+	if *rounds > 0 {
+		setup.Rounds = *rounds
+	}
+	if *samples > 0 {
+		setup.Samples = *samples
+	}
+	if *workers > 0 {
+		setup.Workers = *workers
+	}
+	sc, err := experiment.ScenarioByID(*scenario)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Fprintf(os.Stderr, "fedsim: preset=%s scenario=%s strategy=%s clients=%d m=%d rounds=%d arch=%s\n",
+		*preset, sc.ID, *strategy, setup.NumClients, setup.PerRound, setup.Rounds, setup.ArchName)
+
+	res, err := experiment.Run(setup, sc, *strategy, experiment.RunOptions{
+		ServerLR: *serverLR,
+		Seed:     *seed,
+		OnRound: func(rec fl.RoundRecord) {
+			fmt.Fprintf(os.Stderr, "round %3d  acc=%.4f  malicious-sampled=%d/%d  %.2fs",
+				rec.Round, rec.TestAccuracy, rec.MaliciousSampled, len(rec.Sampled), rec.Seconds)
+			if v, ok := rec.Report["fedguard_excluded"]; ok {
+				fmt.Fprintf(os.Stderr, "  excluded=%d", int(v))
+			}
+			if v, ok := rec.Report["spectral_excluded"]; ok {
+				fmt.Fprintf(os.Stderr, "  excluded=%d", int(v))
+			}
+			fmt.Fprintln(os.Stderr)
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	mean, std := res.History.LastNStats(setup.LastN)
+	up, down := res.History.MeanBytes()
+	fmt.Fprintf(os.Stderr,
+		"done: final=%.4f  last-%d mean=%.4f ± %.4f  round-time=%.2fs  up=%.1fMB down=%.1fMB\n",
+		res.History.FinalAccuracy(), setup.LastN, mean, std,
+		res.History.MeanSeconds(), float64(up)/(1<<20), float64(down)/(1<<20))
+
+	if *csv {
+		experiment.WriteSeriesCSV(os.Stdout, []*experiment.Result{res},
+			func(r *experiment.Result) string { return r.Strategy })
+	}
+	if *confusion {
+		_, test, _ := setup.Data()
+		idx := make([]int, test.Len())
+		for i := range idx {
+			idx[i] = i
+		}
+		cm, err := metrics.EvaluateWeights(setup.Arch, res.History.FinalWeights, test, idx)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(cm)
+		a, p, n := cm.MostConfused()
+		fmt.Printf("dominant confusion: %d predicted as %d (%d times)\n", a, p, n)
+	}
+	if *save != "" {
+		if err := persist.SaveWeights(*save, res.History.FinalWeights); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "checkpoint written to %s (%d parameters)\n",
+			*save, len(res.History.FinalWeights))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fedsim:", err)
+	os.Exit(1)
+}

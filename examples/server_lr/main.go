@@ -1,0 +1,55 @@
+// Server learning rate: the paper's Fig. 5 stability study in miniature.
+//
+// At 40% label-flipping attackers FedGuard occasionally fails for a round
+// (a malicious majority slips through the sampled subset) and the global
+// model takes a visible accuracy hit. A server-side learning rate below 1
+// damps such hits at the cost of slower convergence. This example runs
+// FedGuard with server LR 1.0 and 0.3 and prints both trajectories.
+//
+//	go run ./examples/server_lr
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"fedguard/internal/experiment"
+)
+
+func main() {
+	setup := experiment.MustSetup(experiment.PresetQuick)
+	setup.Rounds = 12 // a longer run makes the damping visible
+
+	fmt.Println("FedGuard vs 40% label-flipping attackers, server LR 1.0 vs 0.3")
+	fmt.Println()
+
+	results, err := experiment.Fig5(setup, []float64{1.0, 0.3}, os.Stderr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\naccuracy per round:")
+	fmt.Printf("%-6s", "round")
+	for _, r := range results {
+		fmt.Printf("  %-16s", r.Strategy)
+	}
+	fmt.Println()
+	for round := 0; round < setup.Rounds; round++ {
+		fmt.Printf("%-6d", round+1)
+		for _, r := range results {
+			fmt.Printf("  %-16.4f", r.History.Rounds[round].TestAccuracy)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println()
+	for _, r := range results {
+		mean, std := r.History.LastNStats(setup.Rounds / 2)
+		fmt.Printf("%s: last-half mean %.4f ± %.4f (variance %.6f)\n",
+			r.Strategy, mean, std, std*std)
+	}
+	fmt.Println("\nThe lr-0.3 run trades convergence speed for lower variance — the")
+	fmt.Println("paper's conclusion (Fig. 5): a damped server step bounds the damage")
+	fmt.Println("of any single round in which the defense fails.")
+}

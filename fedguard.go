@@ -1,0 +1,73 @@
+// Package fedguard is a from-scratch Go reproduction of
+//
+//	Chelli et al., "FedGuard: Selective Parameter Aggregation for
+//	Poisoning Attack Mitigation in Federated Learning", IEEE CLUSTER 2023.
+//
+// The package is a thin facade over the internal packages that implement
+// the full system: a float32 neural-network substrate
+// (internal/tensor, internal/nn, internal/opt, internal/loss), the
+// SynthDigits procedural dataset with Dirichlet federated partitioning
+// (internal/dataset), the paper's classifier and CVAE architectures
+// (internal/classifier, internal/cvae), the federation simulator
+// (internal/fl), the four poisoning attacks (internal/attack), the
+// baseline aggregation strategies (internal/aggregate), FedGuard and
+// Spectral themselves (internal/defense), and the experiment harness
+// that regenerates every table and figure (internal/experiment).
+//
+// Most applications only need this facade:
+//
+//	res, err := fedguard.Run(fedguard.PresetQuick, "sign-flip-50", "FedGuard")
+//	fmt.Println(res.History.FinalAccuracy())
+//
+// For lower-level control (custom attacks, strategies, architectures)
+// import the internal packages directly — the examples/ directory shows
+// both styles.
+package fedguard
+
+import (
+	"fedguard/internal/experiment"
+	"fedguard/internal/fl"
+)
+
+// Preset selects an experiment scale. See the constants below.
+type Preset = experiment.Preset
+
+// Experiment scales: PresetQuick finishes in seconds-to-minutes on a
+// laptop, PresetDefault is the scale EXPERIMENTS.md reports, PresetPaper
+// is the full 100-client configuration of the paper's §IV-A.
+const (
+	PresetQuick   = experiment.PresetQuick
+	PresetDefault = experiment.PresetDefault
+	PresetPaper   = experiment.PresetPaper
+)
+
+// Scenario is one attack configuration (ID, attack, malicious fraction).
+type Scenario = experiment.Scenario
+
+// Result couples a finished run with its identity and statistics.
+type Result = experiment.Result
+
+// History is the per-round record of a federation run.
+type History = fl.History
+
+// Scenarios lists the paper's evaluation scenarios.
+func Scenarios() []Scenario { return experiment.Scenarios() }
+
+// Strategies lists the paper's comparison strategies
+// (FedAvg, GeoMed, Krum, Spectral, FedGuard).
+func Strategies() []string { return experiment.StrategyNames() }
+
+// Run executes one scenario under one strategy at the given scale and
+// returns the full result. It is deterministic: the same arguments always
+// produce the same history.
+func Run(preset Preset, scenarioID, strategy string) (*Result, error) {
+	setup, err := experiment.NewSetup(preset)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := experiment.ScenarioByID(scenarioID)
+	if err != nil {
+		return nil, err
+	}
+	return experiment.Run(setup, sc, strategy, experiment.RunOptions{})
+}

@@ -1,0 +1,40 @@
+package fedguard
+
+import "testing"
+
+func TestScenariosAndStrategiesNonEmpty(t *testing.T) {
+	if len(Scenarios()) == 0 {
+		t.Fatal("no scenarios")
+	}
+	if len(Strategies()) != 5 {
+		t.Fatalf("%d strategies, want the paper's 5", len(Strategies()))
+	}
+}
+
+func TestRunValidatesArguments(t *testing.T) {
+	if _, err := Run("bogus-preset", "no-attack", "FedAvg"); err == nil {
+		t.Fatal("bogus preset accepted")
+	}
+	if _, err := Run(PresetQuick, "bogus-scenario", "FedAvg"); err == nil {
+		t.Fatal("bogus scenario accepted")
+	}
+	if _, err := Run(PresetQuick, "no-attack", "bogus-strategy"); err == nil {
+		t.Fatal("bogus strategy accepted")
+	}
+}
+
+func TestRunQuickEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full quick-preset federation")
+	}
+	res, err := Run(PresetQuick, "no-attack", "FedAvg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.History.FinalAccuracy() < 0.5 {
+		t.Fatalf("benign FedAvg reached only %v", res.History.FinalAccuracy())
+	}
+	if len(res.History.FinalWeights) == 0 {
+		t.Fatal("no final weights recorded")
+	}
+}

@@ -1,0 +1,3 @@
+module fedguard
+
+go 1.22

@@ -1,0 +1,296 @@
+// Package aggregate implements the aggregation operators the paper
+// evaluates FedGuard against — FedAvg (McMahan et al.), GeoMed (Chen et
+// al., geometric median via Weiszfeld iteration), Krum (Blanchard et
+// al.) — plus the coordinate-wise median, trimmed mean (Yin et al.) and
+// norm-thresholding (Sun et al.) operators referenced in the related-work
+// discussion. All satisfy fl.Strategy, and the pure vector forms are
+// exported as Inner operators so FedGuard can swap its internal
+// aggregator (paper §VI-C future work).
+package aggregate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"fedguard/internal/fl"
+	"fedguard/internal/tensor"
+)
+
+// ErrNoUpdates is returned when a round has nothing to aggregate.
+var ErrNoUpdates = errors.New("aggregate: no updates")
+
+// Inner is a pure aggregation operator over a set of updates. FedGuard
+// composes one of these behind its selective filter.
+type Inner func(updates []fl.Update) ([]float32, error)
+
+// WeightedMean is the FedAvg operator: the sample-count-weighted mean of
+// the update vectors.
+func WeightedMean(updates []fl.Update) ([]float32, error) {
+	if len(updates) == 0 {
+		return nil, ErrNoUpdates
+	}
+	dim := len(updates[0].Weights)
+	acc := make([]float64, dim)
+	var total float64
+	for _, u := range updates {
+		if len(u.Weights) != dim {
+			return nil, fmt.Errorf("aggregate: update from client %d has %d parameters, want %d",
+				u.ClientID, len(u.Weights), dim)
+		}
+		w := float64(u.NumSamples)
+		if w <= 0 {
+			w = 1
+		}
+		total += w
+		for i, v := range u.Weights {
+			acc[i] += w * float64(v)
+		}
+	}
+	out := make([]float32, dim)
+	for i := range out {
+		out[i] = float32(acc[i] / total)
+	}
+	return out, nil
+}
+
+// GeometricMedian computes the geometric median of the update vectors by
+// Weiszfeld fixed-point iteration, which minimizes the sum of Euclidean
+// distances to the inputs and is robust to a minority of outliers.
+func GeometricMedian(updates []fl.Update) ([]float32, error) {
+	if len(updates) == 0 {
+		return nil, ErrNoUpdates
+	}
+	dim := len(updates[0].Weights)
+	// Start from the arithmetic mean.
+	cur := make([]float64, dim)
+	for _, u := range updates {
+		for i, v := range u.Weights {
+			cur[i] += float64(v) / float64(len(updates))
+		}
+	}
+	const (
+		maxIter = 50
+		tol     = 1e-6
+		epsilon = 1e-10
+	)
+	next := make([]float64, dim)
+	for iter := 0; iter < maxIter; iter++ {
+		for i := range next {
+			next[i] = 0
+		}
+		var wSum float64
+		for _, u := range updates {
+			var d float64
+			for i, v := range u.Weights {
+				diff := float64(v) - cur[i]
+				d += diff * diff
+			}
+			d = math.Sqrt(d)
+			if d < epsilon {
+				d = epsilon
+			}
+			w := 1 / d
+			wSum += w
+			for i, v := range u.Weights {
+				next[i] += w * float64(v)
+			}
+		}
+		var shift float64
+		for i := range next {
+			next[i] /= wSum
+			diff := next[i] - cur[i]
+			shift += diff * diff
+		}
+		cur, next = next, cur
+		if math.Sqrt(shift) < tol {
+			break
+		}
+	}
+	out := make([]float32, dim)
+	for i := range out {
+		out[i] = float32(cur[i])
+	}
+	return out, nil
+}
+
+// KrumSelect returns the index of the update with the best Krum score:
+// the sum of squared distances to its n−f−2 nearest neighbours, with f
+// the assumed Byzantine count. Blanchard et al., NeurIPS 2017.
+func KrumSelect(updates []fl.Update, f int) (int, error) {
+	scores, err := krumScores(updates, f)
+	if err != nil {
+		return -1, err
+	}
+	best, bestScore := 0, math.Inf(1)
+	for i, s := range scores {
+		if s < bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return best, nil
+}
+
+// Krum returns the single best-scoring update vector.
+func Krum(updates []fl.Update, f int) ([]float32, error) {
+	idx, err := KrumSelect(updates, f)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float32, len(updates[idx].Weights))
+	copy(out, updates[idx].Weights)
+	return out, nil
+}
+
+// CoordinateMedian returns the coordinate-wise median of the update
+// vectors (Yin et al., ICML 2018).
+func CoordinateMedian(updates []fl.Update) ([]float32, error) {
+	if len(updates) == 0 {
+		return nil, ErrNoUpdates
+	}
+	n := len(updates)
+	dim := len(updates[0].Weights)
+	out := make([]float32, dim)
+	col := make([]float32, n)
+	for i := 0; i < dim; i++ {
+		for j, u := range updates {
+			col[j] = u.Weights[i]
+		}
+		sort.Slice(col, func(a, b int) bool { return col[a] < col[b] })
+		if n%2 == 1 {
+			out[i] = col[n/2]
+		} else {
+			out[i] = (col[n/2-1] + col[n/2]) / 2
+		}
+	}
+	return out, nil
+}
+
+// TrimmedMean returns the coordinate-wise mean after removing the
+// trim largest and trim smallest values per coordinate (Yin et al.).
+func TrimmedMean(updates []fl.Update, trim int) ([]float32, error) {
+	n := len(updates)
+	if n == 0 {
+		return nil, ErrNoUpdates
+	}
+	if 2*trim >= n {
+		return nil, fmt.Errorf("aggregate: trim %d too large for %d updates", trim, n)
+	}
+	dim := len(updates[0].Weights)
+	out := make([]float32, dim)
+	col := make([]float32, n)
+	for i := 0; i < dim; i++ {
+		for j, u := range updates {
+			col[j] = u.Weights[i]
+		}
+		sort.Slice(col, func(a, b int) bool { return col[a] < col[b] })
+		var acc float64
+		for _, v := range col[trim : n-trim] {
+			acc += float64(v)
+		}
+		out[i] = float32(acc / float64(n-2*trim))
+	}
+	return out, nil
+}
+
+// NormClip rescales every update whose L2 norm exceeds bound down to the
+// bound (Sun et al., "Can you really backdoor federated learning?") and
+// then applies FedAvg. It returns the clipped copy, leaving inputs
+// untouched.
+func NormClip(updates []fl.Update, bound float64) ([]fl.Update, error) {
+	if len(updates) == 0 {
+		return nil, ErrNoUpdates
+	}
+	out := make([]fl.Update, len(updates))
+	for i, u := range updates {
+		norm := float64(tensor.Norm2Slice(u.Weights))
+		cp := u
+		if norm > bound && norm > 0 {
+			scaled := make([]float32, len(u.Weights))
+			s := float32(bound / norm)
+			for j, v := range u.Weights {
+				scaled[j] = v * s
+			}
+			cp.Weights = scaled
+		}
+		out[i] = cp
+	}
+	return out, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MultiKrum returns the FedAvg of the k updates with the best Krum
+// scores (Blanchard et al.'s m-Krum variant): more robust than plain
+// averaging, less lossy than selecting a single update.
+func MultiKrum(updates []fl.Update, f, k int) ([]float32, error) {
+	n := len(updates)
+	if n == 0 {
+		return nil, ErrNoUpdates
+	}
+	if k <= 0 || k > n {
+		return nil, fmt.Errorf("aggregate: MultiKrum k=%d with %d updates", k, n)
+	}
+	scores, err := krumScores(updates, f)
+	if err != nil {
+		return nil, err
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return scores[order[a]] < scores[order[b]] })
+	selected := make([]fl.Update, k)
+	for i := 0; i < k; i++ {
+		selected[i] = updates[order[i]]
+	}
+	return WeightedMean(selected)
+}
+
+// krumScores returns every update's Krum score (sum of squared distances
+// to its n−f−2 nearest neighbours).
+func krumScores(updates []fl.Update, f int) ([]float64, error) {
+	n := len(updates)
+	if n == 0 {
+		return nil, ErrNoUpdates
+	}
+	k := n - f - 2
+	if k < 1 {
+		k = 1
+	}
+	scores := make([]float64, n)
+	if n == 1 {
+		return scores, nil
+	}
+	d2 := make([][]float64, n)
+	for i := range d2 {
+		d2[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := float64(tensor.DistSlice(updates[i].Weights, updates[j].Weights))
+			d2[i][j] = d * d
+			d2[j][i] = d * d
+		}
+	}
+	dists := make([]float64, 0, n-1)
+	for i := 0; i < n; i++ {
+		dists = dists[:0]
+		for j := 0; j < n; j++ {
+			if j != i {
+				dists = append(dists, d2[i][j])
+			}
+		}
+		sort.Float64s(dists)
+		for _, d := range dists[:min(k, len(dists))] {
+			scores[i] += d
+		}
+	}
+	return scores, nil
+}

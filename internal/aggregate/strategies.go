@@ -1,0 +1,174 @@
+package aggregate
+
+import (
+	"math"
+
+	"fedguard/internal/fl"
+)
+
+// FedAvg is the undefended baseline strategy (McMahan et al.).
+type FedAvg struct{}
+
+// NewFedAvg returns the FedAvg strategy.
+func NewFedAvg() *FedAvg { return &FedAvg{} }
+
+// Name implements fl.Strategy.
+func (s *FedAvg) Name() string { return "FedAvg" }
+
+// NeedsDecoders implements fl.Strategy.
+func (s *FedAvg) NeedsDecoders() bool { return false }
+
+// Aggregate implements fl.Strategy by weighted averaging.
+func (s *FedAvg) Aggregate(ctx *fl.RoundContext) ([]float32, error) {
+	return WeightedMean(ctx.Updates)
+}
+
+// GeoMed aggregates with the geometric median (Chen et al.).
+type GeoMed struct{}
+
+// NewGeoMed returns the GeoMed strategy.
+func NewGeoMed() *GeoMed { return &GeoMed{} }
+
+// Name implements fl.Strategy.
+func (s *GeoMed) Name() string { return "GeoMed" }
+
+// NeedsDecoders implements fl.Strategy.
+func (s *GeoMed) NeedsDecoders() bool { return false }
+
+// Aggregate implements fl.Strategy.
+func (s *GeoMed) Aggregate(ctx *fl.RoundContext) ([]float32, error) {
+	return GeometricMedian(ctx.Updates)
+}
+
+// KrumStrategy selects the single update closest to its neighbours
+// (Blanchard et al.). F is the assumed Byzantine count per round; if
+// zero, it defaults to (m−1)/2, the largest tolerable count.
+type KrumStrategy struct {
+	F int
+}
+
+// NewKrum returns the Krum strategy with the default Byzantine
+// assumption.
+func NewKrum() *KrumStrategy { return &KrumStrategy{} }
+
+// Name implements fl.Strategy.
+func (s *KrumStrategy) Name() string { return "Krum" }
+
+// NeedsDecoders implements fl.Strategy.
+func (s *KrumStrategy) NeedsDecoders() bool { return false }
+
+// Aggregate implements fl.Strategy.
+func (s *KrumStrategy) Aggregate(ctx *fl.RoundContext) ([]float32, error) {
+	f := s.F
+	if f == 0 {
+		f = (len(ctx.Updates) - 1) / 2
+	}
+	idx, err := KrumSelect(ctx.Updates, f)
+	if err != nil {
+		return nil, err
+	}
+	ctx.Report["krum_selected"] = float64(ctx.Updates[idx].ClientID)
+	out := make([]float32, len(ctx.Updates[idx].Weights))
+	copy(out, ctx.Updates[idx].Weights)
+	return out, nil
+}
+
+// MedianStrategy aggregates with the coordinate-wise median.
+type MedianStrategy struct{}
+
+// NewMedian returns the coordinate-wise-median strategy.
+func NewMedian() *MedianStrategy { return &MedianStrategy{} }
+
+// Name implements fl.Strategy.
+func (s *MedianStrategy) Name() string { return "Median" }
+
+// NeedsDecoders implements fl.Strategy.
+func (s *MedianStrategy) NeedsDecoders() bool { return false }
+
+// Aggregate implements fl.Strategy.
+func (s *MedianStrategy) Aggregate(ctx *fl.RoundContext) ([]float32, error) {
+	return CoordinateMedian(ctx.Updates)
+}
+
+// TrimmedMeanStrategy aggregates with the coordinate-wise trimmed mean,
+// trimming Trim values at each extreme (default: 25% of the updates).
+type TrimmedMeanStrategy struct {
+	Trim int
+}
+
+// NewTrimmedMean returns the trimmed-mean strategy with the default trim.
+func NewTrimmedMean() *TrimmedMeanStrategy { return &TrimmedMeanStrategy{} }
+
+// Name implements fl.Strategy.
+func (s *TrimmedMeanStrategy) Name() string { return "TrimmedMean" }
+
+// NeedsDecoders implements fl.Strategy.
+func (s *TrimmedMeanStrategy) NeedsDecoders() bool { return false }
+
+// Aggregate implements fl.Strategy.
+func (s *TrimmedMeanStrategy) Aggregate(ctx *fl.RoundContext) ([]float32, error) {
+	trim := s.Trim
+	if trim == 0 {
+		trim = len(ctx.Updates) / 4
+	}
+	if 2*trim >= len(ctx.Updates) {
+		trim = (len(ctx.Updates) - 1) / 2
+	}
+	return TrimmedMean(ctx.Updates, trim)
+}
+
+// NormClipStrategy clips update norms to Bound before FedAvg (Sun et
+// al.). A Bound of 0 auto-calibrates to the median update norm of the
+// round.
+type NormClipStrategy struct {
+	Bound float64
+}
+
+// NewNormClip returns the norm-thresholding strategy with
+// auto-calibration.
+func NewNormClip() *NormClipStrategy { return &NormClipStrategy{} }
+
+// Name implements fl.Strategy.
+func (s *NormClipStrategy) Name() string { return "NormClip" }
+
+// NeedsDecoders implements fl.Strategy.
+func (s *NormClipStrategy) NeedsDecoders() bool { return false }
+
+// Aggregate implements fl.Strategy.
+func (s *NormClipStrategy) Aggregate(ctx *fl.RoundContext) ([]float32, error) {
+	bound := s.Bound
+	if bound == 0 {
+		med, err := medianNorm(ctx.Updates)
+		if err != nil {
+			return nil, err
+		}
+		bound = med
+	}
+	clipped, err := NormClip(ctx.Updates, bound)
+	if err != nil {
+		return nil, err
+	}
+	return WeightedMean(clipped)
+}
+
+func medianNorm(updates []fl.Update) (float64, error) {
+	if len(updates) == 0 {
+		return 0, ErrNoUpdates
+	}
+	norms := make([]float64, len(updates))
+	for i, u := range updates {
+		var acc float64
+		for _, v := range u.Weights {
+			acc += float64(v) * float64(v)
+		}
+		norms[i] = acc
+	}
+	// Selection by sorting; m is small.
+	for i := 1; i < len(norms); i++ {
+		for j := i; j > 0 && norms[j] < norms[j-1]; j-- {
+			norms[j], norms[j-1] = norms[j-1], norms[j]
+		}
+	}
+	mid := norms[len(norms)/2]
+	return math.Sqrt(mid), nil
+}

@@ -1,0 +1,181 @@
+// Package classifier builds the federated MNIST classifier of the paper
+// (Table II) and a reduced variant for CPU-scale experiments, together
+// with local-training and evaluation helpers used by federated clients
+// and by FedGuard's server-side auditing.
+package classifier
+
+import (
+	"fmt"
+
+	"fedguard/internal/dataset"
+	"fedguard/internal/loss"
+	"fedguard/internal/nn"
+	"fedguard/internal/opt"
+	"fedguard/internal/rng"
+	"fedguard/internal/tensor"
+)
+
+// Arch selects a classifier architecture. It is a function so every
+// client can build an independent instance with its own RNG while
+// guaranteeing identical shapes (and therefore an identical flat
+// parameter layout).
+type Arch func(r *rng.RNG) *nn.Sequential
+
+// Paper returns the exact architecture of Table II: two ReLU-activated
+// 5×5 convolutions (32 and 64 channels) each followed by 2×2 max
+// pooling, a 512-unit ReLU FCL and a 10-unit output FCL.
+// 1,662,752 parameters. The softmax is fused into the loss.
+func Paper() Arch {
+	return func(r *rng.RNG) *nn.Sequential {
+		return nn.NewSequential(
+			nn.NewConv2D(1, 32, 5, 5, r),
+			nn.NewReLU(),
+			nn.NewMaxPool2D(2, 2),
+			nn.NewConv2D(32, 64, 5, 5, r),
+			nn.NewReLU(),
+			nn.NewMaxPool2D(2, 2),
+			nn.NewFlatten(),
+			nn.NewLinear(64*4*4, 512, r),
+			nn.NewReLU(),
+			nn.NewLinear(512, 10, r),
+		)
+	}
+}
+
+// Small returns a reduced variant (8 and 16 conv channels, 64-unit FCL)
+// with the same topology. It trains ~50× faster on CPU while preserving
+// the attack/defense dynamics; the experiment presets use it by default.
+func Small() Arch {
+	return func(r *rng.RNG) *nn.Sequential {
+		return nn.NewSequential(
+			nn.NewConv2D(1, 8, 5, 5, r),
+			nn.NewReLU(),
+			nn.NewMaxPool2D(2, 2),
+			nn.NewConv2D(8, 16, 5, 5, r),
+			nn.NewReLU(),
+			nn.NewMaxPool2D(2, 2),
+			nn.NewFlatten(),
+			nn.NewLinear(16*4*4, 64, r),
+			nn.NewReLU(),
+			nn.NewLinear(64, 10, r),
+		)
+	}
+}
+
+// Tiny returns a dense-only model for unit tests that need a trainable
+// classifier in milliseconds.
+func Tiny() Arch {
+	return func(r *rng.RNG) *nn.Sequential {
+		return nn.NewSequential(
+			nn.NewFlatten(),
+			nn.NewLinear(dataset.ImageH*dataset.ImageW, 32, r),
+			nn.NewReLU(),
+			nn.NewLinear(32, 10, r),
+		)
+	}
+}
+
+// TrainConfig controls local classifier training.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	LR        float64
+	Momentum  float64
+	// ProxMu, when positive, adds the FedProx proximal term
+	// (μ/2)·‖w − w₀‖² to the local objective, with w₀ the parameters the
+	// client started the round from (Sahu et al., reference [32]; the
+	// paper's §VI-C names FedProx as an alternative inner operator).
+	ProxMu float64
+}
+
+// DefaultTrainConfig mirrors the paper's client setup: 5 local epochs.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Epochs: 5, BatchSize: 32, LR: 0.05, Momentum: 0.9}
+}
+
+// Train runs local SGD on the examples of ds selected by indices and
+// returns the mean loss of the final epoch. The model is updated in
+// place.
+func Train(model *nn.Sequential, ds *dataset.Dataset, indices []int, cfg TrainConfig, r *rng.RNG) float64 {
+	optim := opt.NewSGD(model.Params(), cfg.LR, cfg.Momentum, 0)
+	var anchor []float32
+	if cfg.ProxMu > 0 {
+		anchor = model.FlattenParams() // w₀ for the proximal term
+	}
+	var epochLoss float64
+	for e := 0; e < cfg.Epochs; e++ {
+		epochLoss = 0
+		batches := dataset.Batches(indices, cfg.BatchSize, r)
+		for _, b := range batches {
+			x, labels := ds.Batch(b)
+			model.ZeroGrad()
+			logits := model.Forward(x, true)
+			l, grad := loss.SoftmaxCrossEntropy(logits, labels)
+			model.Backward(grad)
+			if anchor != nil {
+				addProxGrad(model, anchor, float32(cfg.ProxMu))
+			}
+			optim.Step()
+			epochLoss += l * float64(len(b))
+		}
+		epochLoss /= float64(len(indices))
+	}
+	return epochLoss
+}
+
+// addProxGrad accumulates μ·(w − w₀) into the gradients (the derivative
+// of the FedProx proximal term).
+func addProxGrad(model *nn.Sequential, anchor []float32, mu float32) {
+	off := 0
+	for _, p := range model.Params() {
+		n := p.Value.Len()
+		for i := 0; i < n; i++ {
+			p.Grad.Data[i] += mu * (p.Value.Data[i] - anchor[off+i])
+		}
+		off += n
+	}
+}
+
+// Evaluate returns the model's accuracy on the examples of ds selected by
+// indices, running inference in batches to bound memory.
+func Evaluate(model *nn.Sequential, ds *dataset.Dataset, indices []int) float64 {
+	const batch = 128
+	correct := 0
+	for off := 0; off < len(indices); off += batch {
+		end := off + batch
+		if end > len(indices) {
+			end = len(indices)
+		}
+		x, labels := ds.Batch(indices[off:end])
+		logits := model.Forward(x, false)
+		correct += int(loss.Accuracy(logits, labels)*float64(len(labels)) + 0.5)
+	}
+	if len(indices) == 0 {
+		return 0
+	}
+	return float64(correct) / float64(len(indices))
+}
+
+// EvaluateTensor returns accuracy on an explicit (B, 1, H, W) tensor and
+// label slice — the entry point FedGuard's server uses to audit client
+// updates on synthetic validation data.
+func EvaluateTensor(model *nn.Sequential, x *tensor.Tensor, labels []int) float64 {
+	logits := model.Forward(x, false)
+	return loss.Accuracy(logits, labels)
+}
+
+// ByName resolves an architecture by its registry name ("paper", "small",
+// "tiny"). The networked federation ships architectures by name, so both
+// endpoints must agree on this registry.
+func ByName(name string) (Arch, error) {
+	switch name {
+	case "paper":
+		return Paper(), nil
+	case "small":
+		return Small(), nil
+	case "tiny":
+		return Tiny(), nil
+	default:
+		return nil, fmt.Errorf("classifier: unknown architecture %q", name)
+	}
+}

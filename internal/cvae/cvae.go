@@ -1,0 +1,344 @@
+// Package cvae implements the Conditional Variational AutoEncoder at the
+// heart of FedGuard (paper §III-A, Table III), plus the unconditional VAE
+// used by the Spectral baseline defense.
+//
+// The CVAE encoder consumes an image concatenated with a one-hot class
+// label (784 + 10 = 794 inputs) and produces the mean and log-variance of
+// a diagonal Gaussian posterior over a 20-dimensional latent. The decoder
+// consumes a latent sample concatenated with a one-hot label (30 inputs)
+// and reconstructs the 794-dimensional input. Training maximizes the ELBO
+// (Eqn. 5–6): binary cross-entropy reconstruction plus KL regularization
+// against the standard normal prior, via the reparameterization trick.
+//
+// Faithfulness note: Table III lists ReLU on the µ/log σ² heads; a ReLU
+// there would confine the posterior mean to the positive orthant and the
+// variance to ≥ 1, which contradicts the N(0,1) prior the paper samples
+// from at generation time (Alg. 1 line 2). We use the standard linear
+// heads. All layer widths and parameter counts match Table III exactly
+// (encoder 334,040 / decoder 330,794 / total 664,834 parameters at paper
+// scale).
+package cvae
+
+import (
+	"fmt"
+	"math"
+
+	"fedguard/internal/loss"
+	"fedguard/internal/nn"
+	"fedguard/internal/opt"
+	"fedguard/internal/rng"
+	"fedguard/internal/tensor"
+)
+
+// Config fixes the CVAE dimensions. Input is the flattened image size;
+// the encoder sees Input+Classes values and the decoder reconstructs
+// Input+Classes values (the paper's 794-wide decoder output).
+type Config struct {
+	Input   int // flattened image dimension (784)
+	Hidden  int // trunk width (400 in the paper)
+	Latent  int // latent dimension (20 in the paper)
+	Classes int // number of label classes (10)
+}
+
+// PaperConfig returns the exact Table III dimensions.
+func PaperConfig() Config { return Config{Input: 784, Hidden: 400, Latent: 20, Classes: 10} }
+
+// SmallConfig returns a reduced CVAE for fast CPU experiments. The tiny
+// latent is deliberate: SynthDigits has little intra-class variation, and
+// a narrow z forces class identity to flow through the conditioning
+// label, which is exactly the property FedGuard's controllable synthesis
+// needs (a 2-dim latent reaches ~0.9 class-conditional fidelity in 30
+// epochs on 600 local samples, versus ~0.4 for a 20-dim latent).
+func SmallConfig() Config { return Config{Input: 784, Hidden: 256, Latent: 2, Classes: 10} }
+
+// cond returns the conditioned input width (Input + Classes).
+func (c Config) cond() int { return c.Input + c.Classes }
+
+// decIn returns the decoder input width (Latent + Classes).
+func (c Config) decIn() int { return c.Latent + c.Classes }
+
+// CVAE is a trainable conditional variational autoencoder.
+type CVAE struct {
+	Cfg Config
+
+	trunk  *nn.Sequential // (B, cond) -> (B, hidden)
+	muHead *nn.Linear
+	lvHead *nn.Linear
+	dec    *nn.Sequential // (B, decIn) -> (B, cond)
+}
+
+// New constructs a CVAE with weights initialized from r.
+func New(cfg Config, r *rng.RNG) *CVAE {
+	return &CVAE{
+		Cfg: cfg,
+		trunk: nn.NewSequential(
+			nn.NewLinear(cfg.cond(), cfg.Hidden, r),
+			nn.NewReLU(),
+		),
+		muHead: nn.NewLinear(cfg.Hidden, cfg.Latent, r),
+		lvHead: nn.NewLinear(cfg.Hidden, cfg.Latent, r),
+		dec:    newDecoderNet(cfg, r),
+	}
+}
+
+func newDecoderNet(cfg Config, r *rng.RNG) *nn.Sequential {
+	return nn.NewSequential(
+		nn.NewLinear(cfg.decIn(), cfg.Hidden, r),
+		nn.NewReLU(),
+		nn.NewLinear(cfg.Hidden, cfg.cond(), r),
+		nn.NewSigmoid(),
+	)
+}
+
+// Params returns all learnable parameters (encoder trunk, both heads,
+// decoder) in a stable order.
+func (m *CVAE) Params() []nn.Param {
+	var out []nn.Param
+	out = append(out, m.trunk.Params()...)
+	out = append(out, m.muHead.Params()...)
+	out = append(out, m.lvHead.Params()...)
+	out = append(out, m.dec.Params()...)
+	return out
+}
+
+// NumParams returns the learnable scalar count.
+func (m *CVAE) NumParams() int {
+	n := 0
+	for _, p := range m.Params() {
+		n += p.Value.Len()
+	}
+	return n
+}
+
+func (m *CVAE) zeroGrad() {
+	for _, p := range m.Params() {
+		p.Grad.Zero()
+	}
+}
+
+// oneHotConcat builds (B, Input+Classes) rows of [x | onehot(label)].
+func (m *CVAE) oneHotConcat(x *tensor.Tensor, labels []int) *tensor.Tensor {
+	b := x.Dim(0)
+	if x.Dim(1) != m.Cfg.Input {
+		panic(fmt.Sprintf("cvae: input width %d, want %d", x.Dim(1), m.Cfg.Input))
+	}
+	out := tensor.New(b, m.Cfg.cond())
+	for i := 0; i < b; i++ {
+		row := out.Data[i*m.Cfg.cond():]
+		copy(row[:m.Cfg.Input], x.Data[i*m.Cfg.Input:(i+1)*m.Cfg.Input])
+		l := labels[i]
+		if l < 0 || l >= m.Cfg.Classes {
+			panic(fmt.Sprintf("cvae: label %d out of range", l))
+		}
+		row[m.Cfg.Input+l] = 1
+	}
+	return out
+}
+
+// Step runs one training step on a flat image batch x (B, Input) with
+// labels, updating parameters through optim. It returns the batch ELBO
+// loss (reconstruction + KL).
+func (m *CVAE) Step(x *tensor.Tensor, labels []int, optim opt.Optimizer, r *rng.RNG) float64 {
+	b := x.Dim(0)
+	cfg := m.Cfg
+	m.zeroGrad()
+
+	input := m.oneHotConcat(x, labels)
+	h := m.trunk.Forward(input, true)
+	mu := m.muHead.Forward(h, true)
+	logvar := m.lvHead.Forward(h, true)
+
+	// Reparameterization: z = mu + exp(logvar/2) * eps.
+	eps := tensor.New(b, cfg.Latent)
+	r.FillNormal(eps.Data, 0, 1)
+	sigma := tensor.New(b, cfg.Latent)
+	for i := range sigma.Data {
+		sigma.Data[i] = exp32(0.5 * logvar.Data[i])
+	}
+	z := tensor.New(b, cfg.Latent)
+	for i := range z.Data {
+		z.Data[i] = mu.Data[i] + sigma.Data[i]*eps.Data[i]
+	}
+
+	decIn := tensor.New(b, cfg.decIn())
+	for i := 0; i < b; i++ {
+		row := decIn.Data[i*cfg.decIn():]
+		copy(row[:cfg.Latent], z.Data[i*cfg.Latent:(i+1)*cfg.Latent])
+		row[cfg.Latent+labels[i]] = 1
+	}
+	out := m.dec.Forward(decIn, true)
+
+	recon, dOut := loss.BinaryCrossEntropy(out, input)
+	kl, dMuKL, dLvKL := loss.GaussianKL(mu, logvar)
+
+	// Backward through the decoder into z.
+	dDecIn := m.dec.Backward(dOut)
+	dMu := tensor.New(b, cfg.Latent)
+	dLv := tensor.New(b, cfg.Latent)
+	for i := 0; i < b; i++ {
+		src := dDecIn.Data[i*cfg.decIn():]
+		for j := 0; j < cfg.Latent; j++ {
+			dz := src[j]
+			k := i*cfg.Latent + j
+			dMu.Data[k] = dz + dMuKL.Data[k]
+			// dz/dlogvar = eps * d(sigma)/dlogvar = eps * 0.5*sigma.
+			dLv.Data[k] = dz*eps.Data[k]*0.5*sigma.Data[k] + dLvKL.Data[k]
+		}
+	}
+	dh1 := m.muHead.Backward(dMu)
+	dh2 := m.lvHead.Backward(dLv)
+	dh := tensor.New(b, cfg.Hidden)
+	tensor.Add(dh, dh1, dh2)
+	m.trunk.Backward(dh)
+
+	optim.Step()
+	return recon + kl
+}
+
+// TrainConfig controls CVAE local training.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	LR        float64
+}
+
+// DefaultTrainConfig mirrors the paper's 30 client-side CVAE epochs.
+func DefaultTrainConfig() TrainConfig { return TrainConfig{Epochs: 30, BatchSize: 32, LR: 1e-3} }
+
+// Dataset is the minimal view of a training set the CVAE needs; it is
+// satisfied by *dataset.Dataset.
+type Dataset interface {
+	Len() int
+	FlatBatch(indices []int) (*tensor.Tensor, []int)
+}
+
+// Train fits the CVAE on the examples of ds selected by indices using
+// Adam, returning the mean ELBO loss of the final epoch.
+func (m *CVAE) Train(ds Dataset, indices []int, cfg TrainConfig, r *rng.RNG) float64 {
+	optim := opt.NewAdam(m.Params(), cfg.LR)
+	var epochLoss float64
+	for e := 0; e < cfg.Epochs; e++ {
+		epochLoss = 0
+		for _, batch := range batchIndices(indices, cfg.BatchSize, r) {
+			x, labels := ds.FlatBatch(batch)
+			epochLoss += m.Step(x, labels, optim, r) * float64(len(batch))
+		}
+		epochLoss /= float64(len(indices))
+	}
+	return epochLoss
+}
+
+func batchIndices(indices []int, size int, r *rng.RNG) [][]int {
+	shuffled := append([]int(nil), indices...)
+	r.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	var out [][]int
+	for off := 0; off < len(shuffled); off += size {
+		end := off + size
+		if end > len(shuffled) {
+			end = len(shuffled)
+		}
+		out = append(out, shuffled[off:end])
+	}
+	return out
+}
+
+// DecoderParams exports the decoder weights as a flat vector — the
+// payload a FedGuard client uploads alongside its classifier update.
+func (m *CVAE) DecoderParams() []float32 { return m.dec.FlattenParams() }
+
+// DecoderSize returns the decoder's parameter count for the given config
+// without building a network.
+func DecoderSize(cfg Config) int {
+	return cfg.decIn()*cfg.Hidden + cfg.Hidden + cfg.Hidden*cfg.cond() + cfg.cond()
+}
+
+// Decoder is a standalone conditional decoder, reconstructed server-side
+// from an uploaded parameter vector. It synthesizes validation images
+// from prior samples and conditioning labels (Alg. 1 line 4).
+type Decoder struct {
+	Cfg Config
+	net *nn.Sequential
+}
+
+// NewDecoder builds a decoder with the given architecture and loads the
+// flat parameter vector params into it.
+func NewDecoder(cfg Config, params []float32) (*Decoder, error) {
+	net := newDecoderNet(cfg, rng.New(0))
+	if err := net.LoadParams(params); err != nil {
+		return nil, fmt.Errorf("cvae: bad decoder payload: %w", err)
+	}
+	return &Decoder{Cfg: cfg, net: net}, nil
+}
+
+// DecoderFromCVAE snapshots a trained CVAE's decoder (used in tests and
+// examples that skip serialization).
+func DecoderFromCVAE(m *CVAE) *Decoder {
+	d, err := NewDecoder(m.Cfg, m.DecoderParams())
+	if err != nil {
+		panic(err) // same config by construction
+	}
+	return d
+}
+
+// Generate synthesizes one image per (z, label) pair. z must be
+// (B, Latent); the result is (B, Input) — the image portion of the
+// decoder output, with the trailing label-reconstruction lanes dropped.
+func (d *Decoder) Generate(z *tensor.Tensor, labels []int) *tensor.Tensor {
+	b := z.Dim(0)
+	cfg := d.Cfg
+	if z.Dim(1) != cfg.Latent {
+		panic(fmt.Sprintf("cvae: latent width %d, want %d", z.Dim(1), cfg.Latent))
+	}
+	if len(labels) != b {
+		panic(fmt.Sprintf("cvae: %d labels for batch of %d", len(labels), b))
+	}
+	decIn := tensor.New(b, cfg.decIn())
+	for i := 0; i < b; i++ {
+		row := decIn.Data[i*cfg.decIn():]
+		copy(row[:cfg.Latent], z.Data[i*cfg.Latent:(i+1)*cfg.Latent])
+		l := labels[i]
+		if l < 0 || l >= cfg.Classes {
+			panic(fmt.Sprintf("cvae: label %d out of range", l))
+		}
+		row[cfg.Latent+l] = 1
+	}
+	out := d.net.Forward(decIn, false)
+	img := tensor.New(b, cfg.Input)
+	for i := 0; i < b; i++ {
+		copy(img.Data[i*cfg.Input:(i+1)*cfg.Input], out.Data[i*cfg.cond():i*cfg.cond()+cfg.Input])
+	}
+	return img
+}
+
+// Reconstruct runs a full encode-decode pass at the posterior mean (no
+// sampling) and returns the reconstructed images (B, Input). Used by
+// tests to measure reconstruction quality.
+func (m *CVAE) Reconstruct(x *tensor.Tensor, labels []int) *tensor.Tensor {
+	b := x.Dim(0)
+	cfg := m.Cfg
+	input := m.oneHotConcat(x, labels)
+	h := m.trunk.Forward(input, false)
+	mu := m.muHead.Forward(h, false)
+	decIn := tensor.New(b, cfg.decIn())
+	for i := 0; i < b; i++ {
+		row := decIn.Data[i*cfg.decIn():]
+		copy(row[:cfg.Latent], mu.Data[i*cfg.Latent:(i+1)*cfg.Latent])
+		row[cfg.Latent+labels[i]] = 1
+	}
+	out := m.dec.Forward(decIn, false)
+	img := tensor.New(b, cfg.Input)
+	for i := 0; i < b; i++ {
+		copy(img.Data[i*cfg.Input:(i+1)*cfg.Input], out.Data[i*cfg.cond():i*cfg.cond()+cfg.Input])
+	}
+	return img
+}
+
+func exp32(x float32) float32 {
+	// Clamp to keep sigma finite under adversarially large logvar.
+	if x > 20 {
+		x = 20
+	} else if x < -20 {
+		x = -20
+	}
+	return float32(math.Exp(float64(x)))
+}

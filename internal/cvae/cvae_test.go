@@ -1,0 +1,245 @@
+package cvae
+
+import (
+	"math"
+	"testing"
+
+	"fedguard/internal/dataset"
+	"fedguard/internal/opt"
+	"fedguard/internal/rng"
+	"fedguard/internal/tensor"
+)
+
+func TestPaperConfigParameterCounts(t *testing.T) {
+	r := rng.New(1)
+	m := New(PaperConfig(), r)
+	// Table III: encoder 318,000 + 8,020 + 8,020; decoder 12,400 + 318,394;
+	// total 664,834.
+	if got := m.NumParams(); got != 664834 {
+		t.Fatalf("paper CVAE has %d params, want 664834", got)
+	}
+	if got := len(m.DecoderParams()); got != 330794 {
+		t.Fatalf("decoder payload %d params, want 330794", got)
+	}
+	if got := DecoderSize(PaperConfig()); got != 330794 {
+		t.Fatalf("DecoderSize = %d, want 330794", got)
+	}
+}
+
+func TestStepReducesLoss(t *testing.T) {
+	r := rng.New(2)
+	cfg := Config{Input: 784, Hidden: 64, Latent: 8, Classes: 10}
+	m := New(cfg, r)
+	d := dataset.Generate(64, dataset.DefaultGenOptions(), r)
+	x, labels := d.FlatBatch(dataset.Range(64))
+	optim := opt.NewAdam(m.Params(), 1e-3)
+	first := m.Step(x, labels, optim, r)
+	var last float64
+	for i := 0; i < 40; i++ {
+		last = m.Step(x, labels, optim, r)
+	}
+	if last >= first*0.8 {
+		t.Fatalf("CVAE loss did not fall: %v -> %v", first, last)
+	}
+}
+
+func TestTrainAndGenerateClassConditional(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a full CVAE; several seconds")
+	}
+	// The decisive property for FedGuard: after training, the decoder must
+	// synthesize images that look like their conditioning class. We verify
+	// with a nearest-class-mean check against real data.
+	r := rng.New(3)
+	cfg := SmallConfig()
+	m := New(cfg, r)
+	train := dataset.Generate(600, dataset.DefaultGenOptions(), r)
+	tc := TrainConfig{Epochs: 25, BatchSize: 32, LR: 1e-3}
+	lossV := m.Train(train, dataset.Range(train.Len()), tc, r)
+	if math.IsNaN(lossV) {
+		t.Fatal("CVAE training diverged to NaN")
+	}
+
+	// Class means of real data.
+	means := make([][]float64, 10)
+	counts := make([]int, 10)
+	for i := 0; i < train.Len(); i++ {
+		l := train.Labels[i]
+		if means[l] == nil {
+			means[l] = make([]float64, 784)
+		}
+		img := train.X[i*784 : (i+1)*784]
+		for j, v := range img {
+			means[l][j] += float64(v)
+		}
+		counts[l]++
+	}
+	for l := range means {
+		for j := range means[l] {
+			means[l][j] /= float64(counts[l])
+		}
+	}
+
+	dec := DecoderFromCVAE(m)
+	const perClass = 8
+	correct := 0
+	for class := 0; class < 10; class++ {
+		z := tensor.New(perClass, cfg.Latent)
+		r.FillNormal(z.Data, 0, 1)
+		labels := make([]int, perClass)
+		for i := range labels {
+			labels[i] = class
+		}
+		imgs := dec.Generate(z, labels)
+		for i := 0; i < perClass; i++ {
+			img := imgs.Data[i*784 : (i+1)*784]
+			best, bestD := -1, math.Inf(1)
+			for l := 0; l < 10; l++ {
+				var dd float64
+				for j, v := range img {
+					diff := float64(v) - means[l][j]
+					dd += diff * diff
+				}
+				if dd < bestD {
+					best, bestD = l, dd
+				}
+			}
+			if best == class {
+				correct++
+			}
+		}
+	}
+	frac := float64(correct) / (10 * perClass)
+	if frac < 0.7 {
+		t.Fatalf("only %v of generated digits match their conditioning class", frac)
+	}
+}
+
+func TestGenerateShapesAndRange(t *testing.T) {
+	r := rng.New(4)
+	cfg := SmallConfig()
+	m := New(cfg, r)
+	dec := DecoderFromCVAE(m)
+	z := tensor.New(5, cfg.Latent)
+	r.FillNormal(z.Data, 0, 1)
+	imgs := dec.Generate(z, []int{0, 1, 2, 3, 4})
+	if imgs.Dim(0) != 5 || imgs.Dim(1) != 784 {
+		t.Fatalf("Generate shape %v", imgs.Shape())
+	}
+	for _, v := range imgs.Data {
+		if v < 0 || v > 1 {
+			t.Fatalf("generated pixel %v outside [0,1]", v)
+		}
+	}
+}
+
+func TestDecoderRoundTripThroughPayload(t *testing.T) {
+	r := rng.New(5)
+	cfg := SmallConfig()
+	m := New(cfg, r)
+	payload := m.DecoderParams()
+	dec, err := NewDecoder(cfg, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := DecoderFromCVAE(m)
+	z := tensor.New(3, cfg.Latent)
+	r.FillNormal(z.Data, 0, 1)
+	labels := []int{1, 2, 3}
+	a := dec.Generate(z, labels)
+	b := ref.Generate(z, labels)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("payload-reconstructed decoder disagrees with source")
+		}
+	}
+}
+
+func TestNewDecoderRejectsBadPayload(t *testing.T) {
+	if _, err := NewDecoder(SmallConfig(), make([]float32, 7)); err == nil {
+		t.Fatal("NewDecoder accepted a short payload")
+	}
+}
+
+func TestReconstructionBetterThanChance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a full CVAE; several seconds")
+	}
+	r := rng.New(6)
+	cfg := Config{Input: 784, Hidden: 96, Latent: 10, Classes: 10}
+	m := New(cfg, r)
+	train := dataset.Generate(300, dataset.DefaultGenOptions(), r)
+	tc := TrainConfig{Epochs: 10, BatchSize: 32, LR: 2e-3}
+	m.Train(train, dataset.Range(train.Len()), tc, r)
+
+	x, labels := train.FlatBatch(dataset.Range(32))
+	rec := m.Reconstruct(x, labels)
+	var mse, base float64
+	for i, v := range rec.Data {
+		d := float64(v) - float64(x.Data[i])
+		mse += d * d
+		b := 0.15 - float64(x.Data[i]) // constant-image baseline
+		base += b * b
+	}
+	if mse >= base {
+		t.Fatalf("reconstruction MSE %v not better than constant baseline %v", mse, base)
+	}
+}
+
+func TestVAELearnsToReconstruct(t *testing.T) {
+	r := rng.New(7)
+	// Structured data on a 2-D manifold embedded in 16 dims.
+	const n, dim = 200, 16
+	x := tensor.New(n, dim)
+	for i := 0; i < n; i++ {
+		a := r.NormFloat32()
+		b := r.NormFloat32()
+		for j := 0; j < dim; j++ {
+			x.Data[i*dim+j] = a*float32(j%3) + b*float32((j+1)%2)
+		}
+	}
+	v := NewVAE(dim, 32, 4, r)
+	first := v.Fit(x, 1, 1e-3, 0.1, r)
+	last := v.Fit(x, 40, 1e-3, 0.1, r)
+	if last >= first {
+		t.Fatalf("VAE loss did not fall: %v -> %v", first, last)
+	}
+	errs := v.ReconstructionError(x)
+	if len(errs) != n {
+		t.Fatalf("%d errors for %d rows", len(errs), n)
+	}
+}
+
+func TestVAEFlagsOutliers(t *testing.T) {
+	// Train on in-distribution vectors; far-out vectors must reconstruct
+	// worse — the working principle of the Spectral defense.
+	r := rng.New(8)
+	const n, dim = 300, 12
+	x := tensor.New(n, dim)
+	for i := 0; i < n; i++ {
+		a := r.NormFloat32()
+		for j := 0; j < dim; j++ {
+			x.Data[i*dim+j] = a * float32(1+j%4)
+		}
+	}
+	v := NewVAE(dim, 32, 3, r)
+	v.Fit(x, 60, 2e-3, 0.05, r)
+
+	inErr := v.ReconstructionError(x)
+	out := tensor.New(10, dim)
+	r.FillNormal(out.Data, 5, 3) // off-manifold
+	outErr := v.ReconstructionError(out)
+
+	var inMean, outMean float64
+	for _, e := range inErr {
+		inMean += e
+	}
+	inMean /= float64(len(inErr))
+	for _, e := range outErr {
+		outMean += e
+	}
+	outMean /= float64(len(outErr))
+	if outMean < 2*inMean {
+		t.Fatalf("outliers not separable: in %v vs out %v", inMean, outMean)
+	}
+}

@@ -1,0 +1,153 @@
+package dataset
+
+// glyphRows are 5x7 bitmap fonts for the ten digit classes. They are the
+// ground-truth shapes from which SynthDigits renders jittered samples;
+// the renderer treats each bitmap as a continuous field via bilinear
+// interpolation, so affine transforms produce smooth anti-aliased
+// strokes rather than blocky pixels.
+var glyphRows = [10][7]string{
+	{ // 0
+		".###.",
+		"#...#",
+		"#...#",
+		"#...#",
+		"#...#",
+		"#...#",
+		".###.",
+	},
+	{ // 1
+		"..#..",
+		".##..",
+		"..#..",
+		"..#..",
+		"..#..",
+		"..#..",
+		".###.",
+	},
+	{ // 2
+		".###.",
+		"#...#",
+		"....#",
+		"...#.",
+		"..#..",
+		".#...",
+		"#####",
+	},
+	{ // 3
+		".###.",
+		"#...#",
+		"....#",
+		"..##.",
+		"....#",
+		"#...#",
+		".###.",
+	},
+	{ // 4
+		"...#.",
+		"..##.",
+		".#.#.",
+		"#..#.",
+		"#####",
+		"...#.",
+		"...#.",
+	},
+	{ // 5
+		"#####",
+		"#....",
+		"####.",
+		"....#",
+		"....#",
+		"#...#",
+		".###.",
+	},
+	{ // 6
+		".###.",
+		"#....",
+		"#....",
+		"####.",
+		"#...#",
+		"#...#",
+		".###.",
+	},
+	{ // 7
+		"#####",
+		"....#",
+		"...#.",
+		"...#.",
+		"..#..",
+		"..#..",
+		"..#..",
+	},
+	{ // 8
+		".###.",
+		"#...#",
+		"#...#",
+		".###.",
+		"#...#",
+		"#...#",
+		".###.",
+	},
+	{ // 9
+		".###.",
+		"#...#",
+		"#...#",
+		".####",
+		"....#",
+		"....#",
+		".###.",
+	},
+}
+
+const (
+	glyphW = 5
+	glyphH = 7
+)
+
+// glyphs holds the bitmaps as float fields, indexed [class][y][x].
+var glyphs [10][glyphH][glyphW]float32
+
+func init() {
+	for c, rows := range glyphRows {
+		for y, row := range rows {
+			for x := 0; x < glyphW; x++ {
+				if row[x] == '#' {
+					glyphs[c][y][x] = 1
+				}
+			}
+		}
+	}
+}
+
+// glyphSample bilinearly samples the continuous field of class c at glyph
+// coordinates (gx, gy), returning 0 outside the bitmap.
+func glyphSample(c int, gx, gy float64) float32 {
+	if gx < -1 || gy < -1 || gx > glyphW || gy > glyphH {
+		return 0
+	}
+	x0 := int(floor(gx))
+	y0 := int(floor(gy))
+	fx := float32(gx - float64(x0))
+	fy := float32(gy - float64(y0))
+	v00 := glyphAt(c, x0, y0)
+	v10 := glyphAt(c, x0+1, y0)
+	v01 := glyphAt(c, x0, y0+1)
+	v11 := glyphAt(c, x0+1, y0+1)
+	top := v00*(1-fx) + v10*fx
+	bot := v01*(1-fx) + v11*fx
+	return top*(1-fy) + bot*fy
+}
+
+func glyphAt(c, x, y int) float32 {
+	if x < 0 || y < 0 || x >= glyphW || y >= glyphH {
+		return 0
+	}
+	return glyphs[c][y][x]
+}
+
+func floor(v float64) float64 {
+	f := float64(int(v))
+	if v < f {
+		f--
+	}
+	return f
+}

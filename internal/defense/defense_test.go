@@ -1,0 +1,451 @@
+package defense
+
+import (
+	"sync"
+	"testing"
+
+	"fedguard/internal/aggregate"
+	"fedguard/internal/classifier"
+	"fedguard/internal/cvae"
+	"fedguard/internal/dataset"
+	"fedguard/internal/fl"
+	"fedguard/internal/rng"
+)
+
+// buildFixture returns (benign weights, decoder payload, cvae config).
+// The underlying classifier and CVAE are trained once and shared: every
+// caller uses them read-only.
+func buildFixture(t *testing.T, r *rng.RNG) ([]float32, []float32, cvae.Config) {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		fr := rng.New(0xf1c)
+		train := dataset.Generate(300, dataset.DefaultGenOptions(), fr)
+
+		model := classifier.Tiny()(fr)
+		cfg := classifier.TrainConfig{Epochs: 5, BatchSize: 32, LR: 0.1, Momentum: 0.9}
+		classifier.Train(model, train, dataset.Range(train.Len()), cfg, fr)
+
+		fixtureCVAECfg = cvae.Config{Input: 784, Hidden: 128, Latent: 2, Classes: 10}
+		cv := cvae.New(fixtureCVAECfg, fr)
+		cv.Train(train, dataset.Range(train.Len()), cvae.TrainConfig{Epochs: 12, BatchSize: 32, LR: 2e-3}, fr)
+
+		fixtureWeights = model.FlattenParams()
+		fixtureDecoder = cv.DecoderParams()
+	})
+	return fixtureWeights, fixtureDecoder, fixtureCVAECfg
+}
+
+var (
+	fixtureOnce    sync.Once
+	fixtureWeights []float32
+	fixtureDecoder []float32
+	fixtureCVAECfg cvae.Config
+)
+
+func ctxWith(updates []fl.Update, seed uint64) *fl.RoundContext {
+	return &fl.RoundContext{
+		Round:   1,
+		Updates: updates,
+		RNG:     rng.New(seed),
+		Report:  map[string]float64{},
+	}
+}
+
+func TestFedGuardMetadata(t *testing.T) {
+	g := NewFedGuard(classifier.Tiny(), cvae.SmallConfig())
+	if g.Name() != "FedGuard" {
+		t.Fatalf("Name = %q", g.Name())
+	}
+	if !g.NeedsDecoders() {
+		t.Fatal("FedGuard must request decoders")
+	}
+}
+
+func TestFedGuardSynthesize(t *testing.T) {
+	r := rng.New(1)
+	_, dec, ccfg := buildFixture(t, r)
+	g := NewFedGuard(classifier.Tiny(), ccfg)
+	g.Samples = 30
+	updates := []fl.Update{
+		{ClientID: 0, Weights: nil, NumSamples: 1, Decoder: dec},
+		{ClientID: 1, Weights: nil, NumSamples: 1, Decoder: dec},
+	}
+	x, labels, err := g.Synthesize(ctxWith(updates, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Dim(0) != 30 || x.Dim(1) != 1 || x.Dim(2) != 28 || x.Dim(3) != 28 {
+		t.Fatalf("synthetic set shape %v", x.Shape())
+	}
+	if len(labels) != 30 {
+		t.Fatalf("%d labels", len(labels))
+	}
+	for _, v := range x.Data {
+		if v < 0 || v > 1 {
+			t.Fatalf("synthetic pixel %v outside [0,1]", v)
+		}
+	}
+	for _, l := range labels {
+		if l < 0 || l >= 10 {
+			t.Fatalf("label %d out of range", l)
+		}
+	}
+}
+
+func TestFedGuardExcludesGarbageUpdates(t *testing.T) {
+	r := rng.New(3)
+	benign, dec, ccfg := buildFixture(t, r)
+
+	// Three benign updates and two same-value poison updates.
+	sameValue := make([]float32, len(benign))
+	for i := range sameValue {
+		sameValue[i] = 1
+	}
+	updates := []fl.Update{
+		{ClientID: 0, Weights: benign, NumSamples: 10, Decoder: dec},
+		{ClientID: 1, Weights: benign, NumSamples: 10, Decoder: dec},
+		{ClientID: 2, Weights: benign, NumSamples: 10, Decoder: dec},
+		{ClientID: 3, Weights: sameValue, NumSamples: 10, Decoder: dec},
+		{ClientID: 4, Weights: sameValue, NumSamples: 10, Decoder: dec},
+	}
+	g := NewFedGuard(classifier.Tiny(), ccfg)
+	g.Samples = 60
+	ctx := ctxWith(updates, 4)
+	out, err := g.Aggregate(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Report["fedguard_excluded"] < 2 {
+		t.Fatalf("excluded %v updates, want the 2 poison ones", ctx.Report["fedguard_excluded"])
+	}
+	// Aggregation of the surviving benign (identical) updates must equal
+	// them exactly.
+	for i := range out {
+		if out[i] != benign[i] {
+			t.Fatal("aggregate polluted by excluded updates")
+		}
+	}
+}
+
+func TestFedGuardKeepsAllWhenEqual(t *testing.T) {
+	r := rng.New(5)
+	benign, dec, ccfg := buildFixture(t, r)
+	updates := []fl.Update{
+		{ClientID: 0, Weights: benign, NumSamples: 1, Decoder: dec},
+		{ClientID: 1, Weights: benign, NumSamples: 1, Decoder: dec},
+	}
+	g := NewFedGuard(classifier.Tiny(), ccfg)
+	ctx := ctxWith(updates, 6)
+	if _, err := g.Aggregate(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Report["fedguard_kept"] != 2 {
+		t.Fatalf("kept %v of 2 identical updates", ctx.Report["fedguard_kept"])
+	}
+}
+
+func TestFedGuardMissingDecoder(t *testing.T) {
+	r := rng.New(7)
+	benign, _, ccfg := buildFixture(t, r)
+	g := NewFedGuard(classifier.Tiny(), ccfg)
+	_, err := g.Aggregate(ctxWith([]fl.Update{
+		{ClientID: 0, Weights: benign, NumSamples: 1},
+	}, 8))
+	if err == nil {
+		t.Fatal("FedGuard accepted an update without decoder payload")
+	}
+}
+
+func TestFedGuardEmptyRound(t *testing.T) {
+	g := NewFedGuard(classifier.Tiny(), cvae.SmallConfig())
+	if _, err := g.Aggregate(ctxWith(nil, 9)); err == nil {
+		t.Fatal("FedGuard accepted an empty round")
+	}
+}
+
+func TestFedGuardMaxDecodersSubset(t *testing.T) {
+	r := rng.New(10)
+	_, dec, ccfg := buildFixture(t, r)
+	g := NewFedGuard(classifier.Tiny(), ccfg)
+	g.Samples = 20
+	g.MaxDecoders = 1
+	updates := []fl.Update{
+		{ClientID: 0, Weights: nil, NumSamples: 1, Decoder: dec},
+		{ClientID: 1, Weights: nil, NumSamples: 1, Decoder: dec},
+		{ClientID: 2, Weights: nil, NumSamples: 1, Decoder: dec},
+	}
+	x, _, err := g.Synthesize(ctxWith(updates, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Dim(0) != 20 {
+		t.Fatalf("MaxDecoders changed the sample count: %v", x.Shape())
+	}
+}
+
+func TestFedGuardCustomClassProbs(t *testing.T) {
+	r := rng.New(12)
+	_, dec, ccfg := buildFixture(t, r)
+	g := NewFedGuard(classifier.Tiny(), ccfg)
+	g.Samples = 200
+	// All mass on class 3: every conditioning label must be 3.
+	probs := make([]float64, 10)
+	probs[3] = 1
+	g.ClassProbs = probs
+	updates := []fl.Update{{ClientID: 0, Weights: nil, NumSamples: 1, Decoder: dec}}
+	_, labels, err := g.Synthesize(ctxWith(updates, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range labels {
+		if l != 3 {
+			t.Fatalf("label %d sampled under point-mass on 3", l)
+		}
+	}
+}
+
+func TestFedGuardInnerOperatorSwap(t *testing.T) {
+	r := rng.New(14)
+	benign, dec, ccfg := buildFixture(t, r)
+	g := NewFedGuard(classifier.Tiny(), ccfg)
+	g.Inner = aggregate.CoordinateMedian
+	updates := []fl.Update{
+		{ClientID: 0, Weights: benign, NumSamples: 1, Decoder: dec},
+		{ClientID: 1, Weights: benign, NumSamples: 1, Decoder: dec},
+	}
+	out, err := g.Aggregate(ctxWith(updates, 15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out {
+		if out[i] != benign[i] {
+			t.Fatal("median inner operator of identical updates differs")
+		}
+	}
+}
+
+func TestSpectralRequiresPretrain(t *testing.T) {
+	s := NewSpectral(classifier.Tiny())
+	if _, err := s.Aggregate(ctxWith([]fl.Update{{ClientID: 0, Weights: []float32{1}}}, 16)); err == nil {
+		t.Fatal("Spectral aggregated without pretraining")
+	}
+}
+
+func TestSpectralExcludesOutliers(t *testing.T) {
+	r := rng.New(17)
+	aux := dataset.Generate(200, dataset.DefaultGenOptions(), r)
+	s := NewSpectral(classifier.Tiny())
+	pcfg := DefaultPretrainConfig(classifier.TrainConfig{Epochs: 1, BatchSize: 32, LR: 0.1, Momentum: 0.9})
+	pcfg.Clients = 4
+	pcfg.Rounds = 3
+	if err := s.Pretrain(aux, pcfg); err != nil {
+		t.Fatal(err)
+	}
+
+	// Benign updates: actual trained models. Poison: same-value vectors.
+	train := dataset.Generate(150, dataset.DefaultGenOptions(), r)
+	var updates []fl.Update
+	for i := 0; i < 3; i++ {
+		m := classifier.Tiny()(r)
+		classifier.Train(m, train, dataset.Range(train.Len()),
+			classifier.TrainConfig{Epochs: 1, BatchSize: 32, LR: 0.1, Momentum: 0.9}, r)
+		updates = append(updates, fl.Update{ClientID: i, Weights: m.FlattenParams(), NumSamples: 10})
+	}
+	poison := make([]float32, len(updates[0].Weights))
+	for i := range poison {
+		poison[i] = 1
+	}
+	updates = append(updates, fl.Update{ClientID: 3, Weights: poison, NumSamples: 10})
+
+	ctx := ctxWith(updates, 18)
+	if _, err := s.Aggregate(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Report["spectral_excluded"] < 1 {
+		t.Fatalf("Spectral excluded %v, want >= 1 (the same-value poison)", ctx.Report["spectral_excluded"])
+	}
+}
+
+func TestSpectralMetadata(t *testing.T) {
+	s := NewSpectral(classifier.Tiny())
+	if s.Name() != "Spectral" {
+		t.Fatalf("Name = %q", s.Name())
+	}
+	if s.NeedsDecoders() {
+		t.Fatal("Spectral must not request decoders")
+	}
+}
+
+func TestProjectionDeterministicAndDiscriminative(t *testing.T) {
+	p := newProjection(1000, 16, 42)
+	q := newProjection(1000, 16, 42)
+	w := make([]float32, 1000)
+	rng.New(1).FillNormal(w, 0, 1)
+	a := p.apply(w)
+	b := q.apply(w)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("projection not deterministic in seed")
+		}
+	}
+	// Different vectors must project differently.
+	w2 := make([]float32, 1000)
+	rng.New(2).FillNormal(w2, 0, 1)
+	c := p.apply(w2)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("projection collapsed distinct inputs")
+	}
+}
+
+func TestFedGuardDetectionStats(t *testing.T) {
+	r := rng.New(21)
+	benign, dec, ccfg := buildFixture(t, r)
+	sameValue := make([]float32, len(benign))
+	for i := range sameValue {
+		sameValue[i] = 1
+	}
+	g := NewFedGuard(classifier.Tiny(), ccfg)
+	g.Samples = 60
+	updates := []fl.Update{
+		{ClientID: 10, Weights: benign, NumSamples: 1, Decoder: dec},
+		{ClientID: 11, Weights: benign, NumSamples: 1, Decoder: dec},
+		{ClientID: 12, Weights: sameValue, NumSamples: 1, Decoder: dec},
+	}
+	for round := 0; round < 3; round++ {
+		if _, err := g.Aggregate(ctxWith(updates, uint64(30+round))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	excluded, seen := g.DetectionStats()
+	if seen[10] != 3 || seen[11] != 3 || seen[12] != 3 {
+		t.Fatalf("participation counts wrong: %v", seen)
+	}
+	if excluded[12] != 3 {
+		t.Fatalf("poison client excluded %d/3 times", excluded[12])
+	}
+	if excluded[10] != 0 || excluded[11] != 0 {
+		t.Fatalf("benign clients excluded: %v", excluded)
+	}
+	// Returned maps are copies: mutating them must not corrupt state.
+	excluded[12] = 0
+	e2, _ := g.DetectionStats()
+	if e2[12] != 3 {
+		t.Fatal("DetectionStats returned internal state, not a copy")
+	}
+}
+
+func TestFedGuardAssignSamplesRoundRobin(t *testing.T) {
+	g := NewFedGuard(classifier.Tiny(), cvae.SmallConfig())
+	assign := g.assignSamples([]int{0, 1, 2, 3, 4, 5}, 3, make([][]int, 3))
+	want := []int{0, 1, 2, 0, 1, 2}
+	for i, w := range want {
+		if assign[i] != w {
+			t.Fatalf("assign = %v, want %v", assign, want)
+		}
+	}
+}
+
+func TestFedGuardAssignSamplesByClass(t *testing.T) {
+	g := NewFedGuard(classifier.Tiny(), cvae.SmallConfig())
+	g.UseDecoderClasses = true
+	// Decoder 0 saw classes {0,1}; decoder 1 saw {2}; decoder 2 unknown.
+	classes := [][]int{{0, 1}, {2}, nil}
+	labels := []int{0, 2, 1, 2, 9}
+	assign := g.assignSamples(labels, 3, classes)
+	// Class 0 and 1 -> decoder 0 or 2 (both claim; 2 claims via nil).
+	for i, y := range labels {
+		d := assign[i]
+		switch y {
+		case 0, 1:
+			if d != 0 && d != 2 {
+				t.Fatalf("label %d routed to decoder %d", y, d)
+			}
+		case 2:
+			if d != 1 && d != 2 {
+				t.Fatalf("label 2 routed to decoder %d", d)
+			}
+		case 9:
+			if d != 2 {
+				t.Fatalf("label 9 (only nil-coverage decoder) routed to %d", d)
+			}
+		}
+	}
+}
+
+func TestFedGuardAssignSamplesFallback(t *testing.T) {
+	g := NewFedGuard(classifier.Tiny(), cvae.SmallConfig())
+	g.UseDecoderClasses = true
+	// No decoder claims class 5: fall back to round-robin.
+	classes := [][]int{{0}, {1}}
+	assign := g.assignSamples([]int{5, 5, 5}, 2, classes)
+	if assign[0] != 0 || assign[1] != 1 || assign[2] != 0 {
+		t.Fatalf("fallback assignment = %v", assign)
+	}
+}
+
+func TestFedGuardSynthesizeWithDecoderClasses(t *testing.T) {
+	r := rng.New(22)
+	_, dec, ccfg := buildFixture(t, r)
+	g := NewFedGuard(classifier.Tiny(), ccfg)
+	g.Samples = 40
+	g.UseDecoderClasses = true
+	updates := []fl.Update{
+		{ClientID: 0, NumSamples: 1, Decoder: dec, DecoderClasses: []int{0, 1, 2, 3, 4}},
+		{ClientID: 1, NumSamples: 1, Decoder: dec, DecoderClasses: []int{5, 6, 7, 8, 9}},
+	}
+	x, labels, err := g.Synthesize(ctxWith(updates, 23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Dim(0) != 40 || len(labels) != 40 {
+		t.Fatalf("shape %v, %d labels", x.Shape(), len(labels))
+	}
+}
+
+func TestQualitySamplerBiasesAwayFromExcluded(t *testing.T) {
+	g := NewFedGuard(classifier.Tiny(), cvae.SmallConfig())
+	// Fabricate detection history: client 0 always excluded, client 1
+	// never, clients 2..4 unseen.
+	g.excludedCount = map[int]int{0: 10}
+	g.seenCount = map[int]int{0: 10, 1: 10}
+
+	q := NewQualitySampler(g)
+	r := rng.New(1)
+	counts := make([]int, 5)
+	const trials = 3000
+	for i := 0; i < trials; i++ {
+		for _, id := range q.SampleClients(i, 5, 2, r) {
+			counts[id]++
+		}
+	}
+	// Client 0 should be picked far less often than client 1.
+	if counts[0]*4 > counts[1] {
+		t.Fatalf("quality sampler barely penalized a fully excluded client: %v", counts)
+	}
+	// Floor keeps client 0 occasionally selectable.
+	if counts[0] == 0 {
+		t.Fatal("floor failed: fully excluded client never sampled again")
+	}
+}
+
+func TestQualitySamplerDistinctAndComplete(t *testing.T) {
+	g := NewFedGuard(classifier.Tiny(), cvae.SmallConfig())
+	q := NewQualitySampler(g)
+	r := rng.New(2)
+	for i := 0; i < 50; i++ {
+		out := q.SampleClients(i, 10, 10, r)
+		seen := map[int]bool{}
+		for _, id := range out {
+			if id < 0 || id >= 10 || seen[id] {
+				t.Fatalf("bad sample %v", out)
+			}
+			seen[id] = true
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package defense
+
+import (
+	"math"
+
+	"fedguard/internal/fl"
+	"fedguard/internal/rng"
+)
+
+// QualitySampler implements the paper's conclusion suggestion of
+// "enabling a better sampling of quality candidates": it biases per-round
+// client selection away from clients that FedGuard has repeatedly
+// excluded. Each client's weight is
+//
+//	w_i = (1 − rate_i)^Sharpness + Floor
+//
+// with rate_i the client's accumulated exclusion rate. Floor keeps every
+// client selectable (so a benign client that had one bad round can
+// recover), and unseen clients carry weight 1 + Floor (optimistic
+// initialization — everyone gets audited eventually).
+type QualitySampler struct {
+	// Guard supplies the accumulated DetectionStats.
+	Guard *FedGuard
+	// Sharpness steepens the penalty (default 2).
+	Sharpness float64
+	// Floor is the minimum selection weight (default 0.05).
+	Floor float64
+}
+
+// NewQualitySampler wires a sampler to the FedGuard strategy whose
+// exclusion statistics drive it.
+func NewQualitySampler(guard *FedGuard) *QualitySampler {
+	return &QualitySampler{Guard: guard, Sharpness: 2, Floor: 0.05}
+}
+
+// SampleClients implements fl.Sampler: weighted sampling without
+// replacement via repeated categorical draws.
+func (q *QualitySampler) SampleClients(round, n, m int, r *rng.RNG) []int {
+	excluded, seen := q.Guard.DetectionStats()
+	weights := make([]float64, n)
+	for i := range weights {
+		rate := 0.0
+		if s := seen[i]; s > 0 {
+			rate = float64(excluded[i]) / float64(s)
+		}
+		weights[i] = math.Pow(1-rate, q.Sharpness) + q.Floor
+	}
+	out := make([]int, 0, m)
+	for len(out) < m {
+		idx := r.Categorical(weights)
+		out = append(out, idx)
+		weights[idx] = 0 // without replacement
+	}
+	return out
+}
+
+// Compile-time check that QualitySampler satisfies fl.Sampler.
+var _ fl.Sampler = (*QualitySampler)(nil)

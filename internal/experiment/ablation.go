@@ -1,0 +1,136 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"fedguard/internal/fl"
+)
+
+// Fig5 runs the paper's Fig. 5 study: FedGuard under 40% label-flipping
+// with server learning rates 1.0 and 0.3. It returns one result per
+// learning rate, labelled "FedGuard-lr-<lr>".
+func Fig5(setup Setup, lrs []float64, progress io.Writer) ([]*Result, error) {
+	if len(lrs) == 0 {
+		lrs = []float64{1.0, 0.3}
+	}
+	sc, err := ScenarioByID("label-flip-40")
+	if err != nil {
+		return nil, err
+	}
+	var out []*Result
+	for _, lr := range lrs {
+		if progress != nil {
+			fmt.Fprintf(progress, "running fig5 lr=%.2f...\n", lr)
+		}
+		res, err := Run(setup, sc, "FedGuard", RunOptions{ServerLR: lr})
+		if err != nil {
+			return out, err
+		}
+		res.Strategy = fmt.Sprintf("FedGuard-lr-%.1f", lr)
+		if progress != nil {
+			fmt.Fprintf(progress, "  lr=%.2f: mean %.4f ± %.4f\n", lr, res.Mean(), res.Std())
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// AblationSamples sweeps FedGuard's t (synthetic samples per round) under
+// a fixed attack scenario — the §VI-A "tuneable system" knob trading
+// validation-set diversity for server compute.
+func AblationSamples(setup Setup, scenarioID string, ts []int, progress io.Writer) ([]*Result, error) {
+	sc, err := ScenarioByID(scenarioID)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Result
+	for _, t := range ts {
+		s := setup
+		s.Samples = t
+		if progress != nil {
+			fmt.Fprintf(progress, "running t=%d...\n", t)
+		}
+		res, err := Run(s, sc, "FedGuard", RunOptions{})
+		if err != nil {
+			return out, err
+		}
+		res.Strategy = fmt.Sprintf("FedGuard-t-%d", t)
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// AblationInner compares FedGuard's inner aggregation operators
+// (§VI-C future work: FedAvg vs GeoMed vs coordinate median) under one
+// scenario.
+func AblationInner(setup Setup, scenarioID string, progress io.Writer) ([]*Result, error) {
+	sc, err := ScenarioByID(scenarioID)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Result
+	for _, name := range []string{"FedGuard", "FedGuard-GeoMed", "FedGuard-Median"} {
+		if progress != nil {
+			fmt.Fprintf(progress, "running %s...\n", name)
+		}
+		res, err := Run(setup, sc, name, RunOptions{})
+		if err != nil {
+			return out, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// AblationDirichlet sweeps the partition concentration α (§VI-C
+// imbalanced-datasets future work) for FedGuard under one scenario.
+func AblationDirichlet(setup Setup, scenarioID string, alphas []float64, progress io.Writer) ([]*Result, error) {
+	sc, err := ScenarioByID(scenarioID)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Result
+	for _, a := range alphas {
+		s := setup
+		s.Alpha = a
+		if progress != nil {
+			fmt.Fprintf(progress, "running alpha=%v...\n", a)
+		}
+		res, err := Run(s, sc, "FedGuard", RunOptions{})
+		if err != nil {
+			return out, err
+		}
+		res.Strategy = fmt.Sprintf("FedGuard-alpha-%g", a)
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// Overhead runs the Table V study: every strategy on the benign scenario,
+// collecting per-round traffic and wall-clock time.
+func Overhead(setup Setup, strategies []string, progress io.Writer) ([]OverheadRow, []*Result, error) {
+	sc, err := ScenarioByID("no-attack")
+	if err != nil {
+		return nil, nil, err
+	}
+	var results []*Result
+	for _, name := range strategies {
+		if progress != nil {
+			fmt.Fprintf(progress, "running overhead/%s...\n", name)
+		}
+		res, err := Run(setup, sc, name, RunOptions{})
+		if err != nil {
+			return nil, results, err
+		}
+		results = append(results, res)
+	}
+	return OverheadRows(results), results, nil
+}
+
+// VarianceOf returns the per-round accuracy variance over the last-n
+// window — the Fig. 5 stability metric.
+func VarianceOf(h *fl.History, lastN int) float64 {
+	_, std := h.LastNStats(lastN)
+	return std * std
+}

@@ -1,0 +1,60 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"fedguard/internal/fl"
+)
+
+// ResultsFromSeriesCSV parses a file written by WriteSeriesCSV back into
+// skeletal Results (strategy label + accuracy series only) — enough to
+// re-render charts from archived runs without re-running the federations.
+func ResultsFromSeriesCSV(r io.Reader) ([]*Result, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("experiment: parsing series CSV: %w", err)
+	}
+	if len(rows) < 2 {
+		return nil, fmt.Errorf("experiment: series CSV has no data rows")
+	}
+	header := rows[0]
+	if len(header) < 2 || header[0] != "round" {
+		return nil, fmt.Errorf("experiment: series CSV header %v", header)
+	}
+	results := make([]*Result, len(header)-1)
+	for i := range results {
+		results[i] = &Result{
+			Strategy: header[i+1],
+			History:  &fl.History{Strategy: header[i+1]},
+		}
+	}
+	for _, row := range rows[1:] {
+		if len(row) == 0 {
+			continue
+		}
+		round, err := strconv.Atoi(row[0])
+		if err != nil {
+			return nil, fmt.Errorf("experiment: bad round %q", row[0])
+		}
+		for i := 1; i < len(row) && i <= len(results); i++ {
+			if row[i] == "" {
+				continue
+			}
+			acc, err := strconv.ParseFloat(row[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: bad accuracy %q", row[i])
+			}
+			h := results[i-1].History
+			h.Rounds = append(h.Rounds, fl.RoundRecord{Round: round, TestAccuracy: acc})
+		}
+	}
+	for _, res := range results {
+		res.LastN = len(res.History.Rounds)
+	}
+	return results, nil
+}

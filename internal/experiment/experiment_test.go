@@ -1,0 +1,432 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/xml"
+	"io"
+	"strings"
+	"testing"
+
+	"fedguard/internal/fl"
+)
+
+func TestNewSetupPresets(t *testing.T) {
+	for _, p := range []Preset{PresetQuick, PresetDefault, PresetPaper} {
+		s, err := NewSetup(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if s.NumClients <= 0 || s.Rounds <= 0 || s.Arch == nil {
+			t.Fatalf("%s: incomplete setup %+v", p, s)
+		}
+		if s.PerRound > s.NumClients {
+			t.Fatalf("%s: PerRound > NumClients", p)
+		}
+	}
+	if _, err := NewSetup("bogus"); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}
+
+func TestPaperPresetMatchesPaper(t *testing.T) {
+	s := MustSetup(PresetPaper)
+	if s.NumClients != 100 || s.PerRound != 50 || s.Rounds != 50 {
+		t.Fatalf("paper preset scale %d/%d/%d, want 100/50/50", s.NumClients, s.PerRound, s.Rounds)
+	}
+	if s.Alpha != 10 {
+		t.Fatalf("paper alpha = %v, want 10", s.Alpha)
+	}
+	if s.Train.Epochs != 5 {
+		t.Fatalf("paper local epochs = %d, want 5", s.Train.Epochs)
+	}
+	if s.CVAETrain.Epochs != 30 {
+		t.Fatalf("paper CVAE epochs = %d, want 30", s.CVAETrain.Epochs)
+	}
+	if s.LastN != 40 {
+		t.Fatalf("paper LastN = %d, want 40", s.LastN)
+	}
+}
+
+func TestDataDeterministicAndDisjointStreams(t *testing.T) {
+	s := MustSetup(PresetQuick)
+	tr1, te1, aux1 := s.Data()
+	tr2, te2, _ := s.Data()
+	if tr1.Len() != s.TrainSize || te1.Len() != s.TestSize || aux1.Len() != s.AuxSize {
+		t.Fatal("dataset sizes wrong")
+	}
+	for i := range tr1.X[:1000] {
+		if tr1.X[i] != tr2.X[i] {
+			t.Fatal("train data not deterministic")
+		}
+	}
+	// Train and test must differ (separate streams).
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if tr1.X[i] == te2.X[i] {
+			same++
+		}
+	}
+	if same > 900 {
+		t.Fatal("train and test streams look identical")
+	}
+}
+
+func TestScenarioRegistry(t *testing.T) {
+	scs := Scenarios()
+	if len(scs) != 6 {
+		t.Fatalf("%d scenarios, want 6", len(scs))
+	}
+	ids := map[string]bool{}
+	for _, sc := range scs {
+		if ids[sc.ID] {
+			t.Fatalf("duplicate scenario %q", sc.ID)
+		}
+		ids[sc.ID] = true
+		if _, err := NewAttack(sc.Attack, 1); err != nil {
+			t.Fatalf("scenario %s has unknown attack %q", sc.ID, sc.Attack)
+		}
+	}
+	if _, err := ScenarioByID("sign-flip-50"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ScenarioByID("nope"); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	if got := len(TableIVScenarios()); got != 4 {
+		t.Fatalf("TableIVScenarios = %d, want 4", got)
+	}
+}
+
+func TestNewAttackUnknown(t *testing.T) {
+	if _, err := NewAttack("quantum", 1); err == nil {
+		t.Fatal("unknown attack accepted")
+	}
+}
+
+func TestNewStrategyRegistry(t *testing.T) {
+	setup := MustSetup(PresetQuick)
+	for _, name := range StrategyNames() {
+		s, err := NewStrategy(name, setup)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.Name() != name {
+			t.Fatalf("strategy %q reports name %q", name, s.Name())
+		}
+	}
+	if _, err := NewStrategy("wat", setup); err != nil {
+		// expected
+	} else {
+		t.Fatal("unknown strategy accepted")
+	}
+	// Extended variants keep distinct names.
+	g, err := NewStrategy("FedGuard-GeoMed", setup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name() != "FedGuard-GeoMed" {
+		t.Fatalf("renamed strategy reports %q", g.Name())
+	}
+	if !g.NeedsDecoders() {
+		t.Fatal("FedGuard-GeoMed must still need decoders")
+	}
+}
+
+func TestRunQuickFedAvgBenign(t *testing.T) {
+	setup := MustSetup(PresetQuick)
+	sc, _ := ScenarioByID("no-attack")
+	rounds := 0
+	res, err := Run(setup, sc, "FedAvg", RunOptions{OnRound: func(fl.RoundRecord) { rounds++ }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds != setup.Rounds {
+		t.Fatalf("saw %d rounds, want %d", rounds, setup.Rounds)
+	}
+	if res.Mean() < 0.5 {
+		t.Fatalf("benign FedAvg reached only %v mean accuracy", res.Mean())
+	}
+}
+
+func TestRunServerLROverride(t *testing.T) {
+	setup := MustSetup(PresetQuick)
+	setup.Rounds = 2
+	sc, _ := ScenarioByID("no-attack")
+	res, err := Run(setup, sc, "FedAvg", RunOptions{ServerLR: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a damped server LR and 2 rounds the model can't converge as far
+	// as with lr=1; just assert the run completed with sane stats.
+	if len(res.History.Rounds) != 2 {
+		t.Fatalf("%d rounds", len(res.History.Rounds))
+	}
+}
+
+func TestWriteTableIV(t *testing.T) {
+	res := []*Result{
+		fakeResult("no-attack", "FedAvg", []float64{0.9, 0.95}),
+		fakeResult("sign-flip-50", "FedAvg", []float64{0.1, 0.1}),
+		fakeResult("no-attack", "FedGuard", []float64{0.9, 0.9}),
+	}
+	var buf bytes.Buffer
+	if err := WriteTableIV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"| Strategy |", "no-attack", "sign-flip-50", "FedAvg", "FedGuard", "—"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table IV missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteTableIVCSV(t *testing.T) {
+	res := []*Result{fakeResult("no-attack", "FedAvg", []float64{0.5, 0.7})}
+	var buf bytes.Buffer
+	if err := WriteTableIVCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "scenario,strategy,mean,std,final\n") {
+		t.Fatalf("CSV header wrong: %q", buf.String())
+	}
+	if !strings.Contains(buf.String(), "no-attack,FedAvg,0.6") {
+		t.Fatalf("CSV row wrong: %q", buf.String())
+	}
+}
+
+func TestWriteTableV(t *testing.T) {
+	rows := []OverheadRow{
+		{Strategy: "FedAvg", UploadMB: 100, DownloadMB: 100, Seconds: 2},
+		{Strategy: "FedGuard", UploadMB: 100, DownloadMB: 120, Seconds: 3.6},
+	}
+	var buf bytes.Buffer
+	if err := WriteTableV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "(+20%)") {
+		t.Fatalf("Table V missing download overhead: %s", out)
+	}
+	if !strings.Contains(out, "(+80%)") {
+		t.Fatalf("Table V missing time overhead: %s", out)
+	}
+}
+
+func TestWriteSeriesCSV(t *testing.T) {
+	res := []*Result{
+		fakeResult("no-attack", "A", []float64{0.1, 0.2, 0.3}),
+		fakeResult("no-attack", "B", []float64{0.4, 0.5}),
+	}
+	var buf bytes.Buffer
+	err := WriteSeriesCSV(&buf, res, func(r *Result) string { return r.Strategy })
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "round,A,B" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != 4 {
+		t.Fatalf("%d lines, want 4", len(lines))
+	}
+	if !strings.HasSuffix(lines[3], ",") {
+		t.Fatalf("short series should leave a trailing empty cell: %q", lines[3])
+	}
+}
+
+func TestWriteASCIIChart(t *testing.T) {
+	var buf bytes.Buffer
+	WriteASCIIChart(&buf, []*Result{fakeResult("x", "Y", []float64{0, 0.5, 1})})
+	if !strings.Contains(buf.String(), "x/Y") {
+		t.Fatalf("chart missing label: %q", buf.String())
+	}
+}
+
+func TestOverheadRows(t *testing.T) {
+	r := fakeResult("no-attack", "FedAvg", []float64{0.9})
+	r.History.Rounds[0].UploadBytes = 2 << 20
+	r.History.Rounds[0].DownloadBytes = 1 << 20
+	r.History.Rounds[0].Seconds = 1.5
+	rows := OverheadRows([]*Result{r})
+	if rows[0].UploadMB != 2 || rows[0].DownloadMB != 1 {
+		t.Fatalf("OverheadRows = %+v", rows[0])
+	}
+	if rows[0].TotalMB() != 3 {
+		t.Fatalf("TotalMB = %v", rows[0].TotalMB())
+	}
+}
+
+func TestSortResults(t *testing.T) {
+	res := []*Result{
+		fakeResult("b", "Z", []float64{1}),
+		fakeResult("a", "Z", []float64{1}),
+		fakeResult("a", "A", []float64{1}),
+	}
+	SortResults(res)
+	if res[0].Scenario.ID != "a" || res[0].Strategy != "A" || res[2].Scenario.ID != "b" {
+		t.Fatal("SortResults order wrong")
+	}
+}
+
+func fakeResult(scenario, strategy string, accs []float64) *Result {
+	h := &fl.History{Strategy: strategy}
+	for i, a := range accs {
+		h.Rounds = append(h.Rounds, fl.RoundRecord{Round: i + 1, TestAccuracy: a})
+	}
+	return &Result{
+		Scenario: Scenario{ID: scenario},
+		Strategy: strategy,
+		History:  h,
+		LastN:    len(accs),
+	}
+}
+
+// microSetup strips the quick preset down to near-nothing so the
+// ablation/figure runners can be exercised in seconds.
+func microSetup() Setup {
+	s := MustSetup(PresetQuick)
+	s.Rounds = 1
+	s.LastN = 1
+	s.Samples = 20
+	s.CVAETrain.Epochs = 2
+	s.Train.Epochs = 1
+	return s
+}
+
+func TestFig5Runner(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs federations")
+	}
+	res, err := Fig5(microSetup(), []float64{1.0, 0.3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("%d results", len(res))
+	}
+	if res[0].Strategy != "FedGuard-lr-1.0" || res[1].Strategy != "FedGuard-lr-0.3" {
+		t.Fatalf("labels %q, %q", res[0].Strategy, res[1].Strategy)
+	}
+	if res[0].Scenario.ID != "label-flip-40" {
+		t.Fatalf("Fig5 ran scenario %s", res[0].Scenario.ID)
+	}
+}
+
+func TestAblationRunners(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs federations")
+	}
+	s := microSetup()
+
+	ts, err := AblationSamples(s, "sign-flip-50", []int{10, 20}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 2 || ts[0].Strategy != "FedGuard-t-10" {
+		t.Fatalf("AblationSamples = %v", ts[0].Strategy)
+	}
+
+	alphas, err := AblationDirichlet(s, "label-flip-30", []float64{10}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alphas) != 1 || alphas[0].Strategy != "FedGuard-alpha-10" {
+		t.Fatalf("AblationDirichlet = %v", alphas[0].Strategy)
+	}
+
+	if _, err := AblationSamples(s, "not-a-scenario", []int{1}, nil); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+func TestOverheadRunner(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs federations")
+	}
+	s := microSetup()
+	rows, results, err := Overhead(s, []string{"FedAvg", "FedGuard"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || len(results) != 2 {
+		t.Fatalf("%d rows, %d results", len(rows), len(results))
+	}
+	var avg, guard OverheadRow
+	for _, r := range rows {
+		switch r.Strategy {
+		case "FedAvg":
+			avg = r
+		case "FedGuard":
+			guard = r
+		}
+	}
+	if guard.DownloadMB <= avg.DownloadMB {
+		t.Fatalf("FedGuard downloads %.2f not above FedAvg %.2f (decoder payloads missing)",
+			guard.DownloadMB, avg.DownloadMB)
+	}
+	if guard.UploadMB != avg.UploadMB {
+		t.Fatal("uploads should be strategy-independent")
+	}
+}
+
+func TestWriteSVGChartWellFormed(t *testing.T) {
+	res := []*Result{
+		fakeResult("no-attack", "FedAvg", []float64{0.1, 0.5, 0.9}),
+		fakeResult("no-attack", "FedGuard <odd&name>", []float64{0.2, 0.8}),
+	}
+	var buf bytes.Buffer
+	if err := WriteSVGChart(&buf, res, `Fig 4 "test" & more`); err != nil {
+		t.Fatal(err)
+	}
+	// The output must be valid XML (escaping has to work).
+	dec := xml.NewDecoder(bytes.NewReader(buf.Bytes()))
+	for {
+		_, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("invalid XML: %v\n%s", err, buf.String())
+		}
+	}
+	out := buf.String()
+	if !strings.Contains(out, "<polyline") {
+		t.Fatal("no series drawn")
+	}
+	if !strings.Contains(out, "FedGuard &lt;odd&amp;name&gt;") {
+		t.Fatal("legend not escaped")
+	}
+}
+
+func TestResultsFromSeriesCSVRoundTrip(t *testing.T) {
+	orig := []*Result{
+		fakeResult("x", "FedAvg", []float64{0.1, 0.2, 0.3}),
+		fakeResult("x", "FedGuard", []float64{0.5, 0.9}),
+	}
+	var buf bytes.Buffer
+	if err := WriteSeriesCSV(&buf, orig, func(r *Result) string { return r.Strategy }); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ResultsFromSeriesCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Strategy != "FedAvg" || got[1].Strategy != "FedGuard" {
+		t.Fatalf("labels lost: %v, %v", got[0].Strategy, got[1].Strategy)
+	}
+	if len(got[0].History.Rounds) != 3 || len(got[1].History.Rounds) != 2 {
+		t.Fatalf("series lengths %d, %d", len(got[0].History.Rounds), len(got[1].History.Rounds))
+	}
+	if got[1].History.Rounds[1].TestAccuracy != 0.9 {
+		t.Fatalf("accuracy lost: %v", got[1].History.Rounds[1].TestAccuracy)
+	}
+}
+
+func TestResultsFromSeriesCSVRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{"", "notround,a\n1,0.5\n", "round,a\n1,notanumber\n"} {
+		if _, err := ResultsFromSeriesCSV(strings.NewReader(bad)); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package experiment
+
+import (
+	"testing"
+)
+
+// These tests reproduce the paper's qualitative claims end-to-end at
+// quick-preset scale: under majority model-poisoning attacks the
+// undefended baseline collapses to chance while FedGuard stays close to
+// its benign accuracy.
+
+func TestIntegrationFedAvgCollapsesUnderSignFlip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	setup := MustSetup(PresetQuick)
+	sc, _ := ScenarioByID("sign-flip-50")
+	res, err := Run(setup, sc, "FedAvg", RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mean() > 0.4 {
+		t.Fatalf("FedAvg under 50%% sign-flip reached %v; expected collapse", res.Mean())
+	}
+}
+
+func TestIntegrationFedGuardDefendsSignFlip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	setup := MustSetup(PresetQuick)
+	sc, _ := ScenarioByID("sign-flip-50")
+	res, err := Run(setup, sc, "FedGuard", RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.History.FinalAccuracy() < 0.6 {
+		t.Fatalf("FedGuard under 50%% sign-flip reached only %v", res.History.FinalAccuracy())
+	}
+	// FedGuard must actually be excluding updates, not just surviving.
+	excluded := 0.0
+	for _, rec := range res.History.Rounds {
+		excluded += rec.Report["fedguard_excluded"]
+	}
+	if excluded == 0 {
+		t.Fatal("FedGuard never excluded any update under a 50% attack")
+	}
+}
+
+func TestIntegrationFedGuardDefendsSameValue(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	setup := MustSetup(PresetQuick)
+	sc, _ := ScenarioByID("same-value-50")
+	res, err := Run(setup, sc, "FedGuard", RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.History.FinalAccuracy() < 0.6 {
+		t.Fatalf("FedGuard under 50%% same-value reached only %v", res.History.FinalAccuracy())
+	}
+}
+
+func TestIntegrationBenignParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	// Without attackers, FedGuard should track FedAvg closely: its filter
+	// may drop below-average updates but must not prevent convergence.
+	setup := MustSetup(PresetQuick)
+	sc, _ := ScenarioByID("no-attack")
+	avg, err := Run(setup, sc, "FedAvg", RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	guard, err := Run(setup, sc, "FedGuard", RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if guard.History.FinalAccuracy() < avg.History.FinalAccuracy()-0.15 {
+		t.Fatalf("benign FedGuard (%v) lags FedAvg (%v) too much",
+			guard.History.FinalAccuracy(), avg.History.FinalAccuracy())
+	}
+}
+
+func TestIntegrationGeoMedSurvivesMinorityNoise(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	// With a minority (30%) of label flippers, robust baselines should
+	// retain most accuracy (paper: GeoMed 98.13% at 30% label flip).
+	setup := MustSetup(PresetQuick)
+	sc, _ := ScenarioByID("label-flip-30")
+	res, err := Run(setup, sc, "GeoMed", RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.History.FinalAccuracy() < 0.5 {
+		t.Fatalf("GeoMed under 30%% label flip reached only %v", res.History.FinalAccuracy())
+	}
+}
+
+func TestIntegrationFedGuardByteOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	// FedGuard's downloads must exceed FedAvg's by exactly the decoder
+	// payload share (Table V mechanism).
+	setup := MustSetup(PresetQuick)
+	setup.Rounds = 1
+	sc, _ := ScenarioByID("no-attack")
+	avg, err := Run(setup, sc, "FedAvg", RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	guard, err := Run(setup, sc, "FedGuard", RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, avgDown := avg.History.MeanBytes()
+	_, guardDown := guard.History.MeanBytes()
+	upA, _ := avg.History.MeanBytes()
+	upG, _ := guard.History.MeanBytes()
+	if upA != upG {
+		t.Fatalf("uploads differ: %d vs %d (broadcast is strategy-independent)", upA, upG)
+	}
+	if guardDown <= avgDown {
+		t.Fatalf("FedGuard downloads %d not above FedAvg %d", guardDown, avgDown)
+	}
+}

@@ -1,0 +1,189 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteTableIV renders the paper's Table IV from a result matrix:
+// strategies as rows, attack scenarios as columns, cells showing the mean
+// ± std test accuracy over the last LastN rounds.
+func WriteTableIV(w io.Writer, results []*Result) error {
+	type key struct{ scenario, strategy string }
+	cells := map[key]*Result{}
+	var scenarios []string
+	var strategies []string
+	seenSc := map[string]bool{}
+	seenSt := map[string]bool{}
+	for _, r := range results {
+		cells[key{r.Scenario.ID, r.Strategy}] = r
+		if !seenSc[r.Scenario.ID] {
+			seenSc[r.Scenario.ID] = true
+			scenarios = append(scenarios, r.Scenario.ID)
+		}
+		if !seenSt[r.Strategy] {
+			seenSt[r.Strategy] = true
+			strategies = append(strategies, r.Strategy)
+		}
+	}
+
+	fmt.Fprintf(w, "| Strategy |")
+	for _, sc := range scenarios {
+		fmt.Fprintf(w, " %s |", sc)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "|---|%s\n", strings.Repeat("---|", len(scenarios)))
+	for _, st := range strategies {
+		fmt.Fprintf(w, "| %s |", st)
+		for _, sc := range scenarios {
+			if r, ok := cells[key{sc, st}]; ok {
+				fmt.Fprintf(w, " %.2f%% ± %.2f%% |", 100*r.Mean(), 100*r.Std())
+			} else {
+				fmt.Fprintf(w, " — |")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// WriteTableIVCSV emits the same matrix as CSV
+// (scenario,strategy,mean,std,final).
+func WriteTableIVCSV(w io.Writer, results []*Result) error {
+	fmt.Fprintln(w, "scenario,strategy,mean,std,final")
+	for _, r := range results {
+		fmt.Fprintf(w, "%s,%s,%.6f,%.6f,%.6f\n",
+			r.Scenario.ID, r.Strategy, r.Mean(), r.Std(), r.History.FinalAccuracy())
+	}
+	return nil
+}
+
+// OverheadRow is one strategy's Table V entry.
+type OverheadRow struct {
+	Strategy string
+	// UploadMB and DownloadMB are the mean per-round server traffic.
+	UploadMB, DownloadMB float64
+	// Seconds is the mean per-round wall-clock duration.
+	Seconds float64
+}
+
+// TotalMB returns the round-trip traffic.
+func (o OverheadRow) TotalMB() float64 { return o.UploadMB + o.DownloadMB }
+
+// OverheadRows extracts Table V rows from results (typically the
+// no-attack scenario, one result per strategy).
+func OverheadRows(results []*Result) []OverheadRow {
+	rows := make([]OverheadRow, 0, len(results))
+	for _, r := range results {
+		up, down := r.History.MeanBytes()
+		rows = append(rows, OverheadRow{
+			Strategy:   r.Strategy,
+			UploadMB:   float64(up) / (1 << 20),
+			DownloadMB: float64(down) / (1 << 20),
+			Seconds:    r.History.MeanSeconds(),
+		})
+	}
+	return rows
+}
+
+// WriteTableV renders the paper's Table V: per-round server traffic and
+// training time with percentage overheads relative to the FedAvg row.
+func WriteTableV(w io.Writer, rows []OverheadRow) error {
+	var base *OverheadRow
+	for i := range rows {
+		if rows[i].Strategy == "FedAvg" {
+			base = &rows[i]
+		}
+	}
+	pct := func(v, b float64) string {
+		if base == nil || b == 0 || v == b {
+			return ""
+		}
+		return fmt.Sprintf(" (%+.0f%%)", 100*(v-b)/b)
+	}
+	fmt.Fprintln(w, "| Strategy | Server uploads / round | Server downloads / round | Server total / round | Training time / round |")
+	fmt.Fprintln(w, "|---|---|---|---|---|")
+	for _, r := range rows {
+		var upP, downP, totP, secP string
+		if base != nil {
+			upP = pct(r.UploadMB, base.UploadMB)
+			downP = pct(r.DownloadMB, base.DownloadMB)
+			totP = pct(r.TotalMB(), base.TotalMB())
+			secP = pct(r.Seconds, base.Seconds)
+		}
+		fmt.Fprintf(w, "| %s | %.1f MB%s | %.1f MB%s | %.1f MB%s | %.2f s%s |\n",
+			r.Strategy, r.UploadMB, upP, r.DownloadMB, downP, r.TotalMB(), totP, r.Seconds, secP)
+	}
+	return nil
+}
+
+// WriteSeriesCSV emits per-round accuracy series (Fig. 4 / Fig. 5
+// material): one column per result, one row per round.
+func WriteSeriesCSV(w io.Writer, results []*Result, label func(*Result) string) error {
+	if len(results) == 0 {
+		return nil
+	}
+	fmt.Fprint(w, "round")
+	maxRounds := 0
+	for _, r := range results {
+		fmt.Fprintf(w, ",%s", label(r))
+		if n := len(r.History.Rounds); n > maxRounds {
+			maxRounds = n
+		}
+	}
+	fmt.Fprintln(w)
+	for round := 0; round < maxRounds; round++ {
+		fmt.Fprintf(w, "%d", round+1)
+		for _, r := range results {
+			if round < len(r.History.Rounds) {
+				fmt.Fprintf(w, ",%.6f", r.History.Rounds[round].TestAccuracy)
+			} else {
+				fmt.Fprint(w, ",")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// WriteASCIIChart renders accuracy series as a rough terminal line chart,
+// one row per result (min..max over rounds bucketed into 40 columns).
+func WriteASCIIChart(w io.Writer, results []*Result) {
+	const width = 50
+	for _, r := range results {
+		accs := r.History.Accuracies()
+		fmt.Fprintf(w, "%-22s |", fmt.Sprintf("%s/%s", r.Scenario.ID, r.Strategy))
+		for i := 0; i < width; i++ {
+			idx := i * len(accs) / width
+			if idx >= len(accs) {
+				idx = len(accs) - 1
+			}
+			fmt.Fprint(w, sparkChar(accs[idx]))
+		}
+		fmt.Fprintf(w, "| %.3f\n", accs[len(accs)-1])
+	}
+}
+
+func sparkChar(v float64) string {
+	ramp := []string{" ", "▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"}
+	idx := int(v * float64(len(ramp)))
+	if idx >= len(ramp) {
+		idx = len(ramp) - 1
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	return ramp[idx]
+}
+
+// SortResults orders results by (scenario, strategy) for stable output.
+func SortResults(results []*Result) {
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Scenario.ID != results[j].Scenario.ID {
+			return results[i].Scenario.ID < results[j].Scenario.ID
+		}
+		return results[i].Strategy < results[j].Strategy
+	})
+}

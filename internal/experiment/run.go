@@ -1,0 +1,111 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"fedguard/internal/fl"
+)
+
+// Result couples a finished run with its identity.
+type Result struct {
+	Scenario Scenario
+	Strategy string
+	History  *fl.History
+	// LastN is the averaging window used for summary statistics.
+	LastN int
+}
+
+// Mean and Std return the Table IV statistic of the run.
+func (r *Result) Mean() float64 { m, _ := r.History.LastNStats(r.LastN); return m }
+
+// Std returns the standard deviation over the averaging window.
+func (r *Result) Std() float64 { _, s := r.History.LastNStats(r.LastN); return s }
+
+// RunOptions tweaks a single run.
+type RunOptions struct {
+	// ServerLR overrides the setup's server learning rate when non-zero
+	// (Fig. 5).
+	ServerLR float64
+	// OnRound, if non-nil, receives every round record as it completes.
+	OnRound func(fl.RoundRecord)
+	// Seed overrides the setup seed when non-zero (for repeat runs).
+	Seed uint64
+}
+
+// Run executes one (setup, scenario, strategy) cell and returns its
+// result.
+func Run(setup Setup, sc Scenario, strategyName string, opts RunOptions) (*Result, error) {
+	att, err := NewAttack(sc.Attack, setup.Seed)
+	if err != nil {
+		return nil, err
+	}
+	strat, err := NewStrategy(strategyName, setup)
+	if err != nil {
+		return nil, err
+	}
+	train, test, _ := setup.Data()
+
+	serverLR := setup.ServerLR
+	if opts.ServerLR > 0 {
+		serverLR = opts.ServerLR
+	}
+	seed := setup.Seed
+	if opts.Seed != 0 {
+		seed = opts.Seed
+	}
+	cfg := fl.FederationConfig{
+		NumClients:        setup.NumClients,
+		PerRound:          setup.PerRound,
+		Rounds:            setup.Rounds,
+		Alpha:             setup.Alpha,
+		ServerLR:          serverLR,
+		MaliciousFraction: sc.MaliciousFraction,
+		Client: fl.ClientConfig{
+			Arch:       setup.Arch,
+			Train:      setup.Train,
+			CVAE:       setup.CVAE,
+			CVAETrain:  setup.CVAETrain,
+			NumClasses: 10,
+		},
+		Workers:    setup.Workers,
+		TestSubset: setup.TestSubset,
+		Seed:       seed,
+	}
+	if sc.MaliciousFraction > 0 {
+		cfg.Attack = att
+	}
+	fed, err := fl.NewFederation(train, test, cfg)
+	if err != nil {
+		return nil, err
+	}
+	h, err := fed.Run(strat, opts.OnRound)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Scenario: sc, Strategy: strategyName, History: h, LastN: setup.LastN}, nil
+}
+
+// RunMatrix runs every scenario × strategy cell, reporting progress to
+// progress (may be nil). Cells run sequentially — each run already
+// saturates the worker pool internally.
+func RunMatrix(setup Setup, scenarios []Scenario, strategies []string, progress io.Writer) ([]*Result, error) {
+	var out []*Result
+	for _, sc := range scenarios {
+		for _, name := range strategies {
+			if progress != nil {
+				fmt.Fprintf(progress, "running %s / %s...\n", sc.ID, name)
+			}
+			res, err := Run(setup, sc, name, RunOptions{})
+			if err != nil {
+				return out, fmt.Errorf("%s/%s: %w", sc.ID, name, err)
+			}
+			if progress != nil {
+				fmt.Fprintf(progress, "  %s / %s: mean %.4f ± %.4f (final %.4f)\n",
+					sc.ID, name, res.Mean(), res.Std(), res.History.FinalAccuracy())
+			}
+			out = append(out, res)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,114 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+)
+
+// svgPalette are the line colors used for chart series, chosen for
+// contrast on a white background.
+var svgPalette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+	"#8c564b", "#e377c2", "#17becf", "#bcbd22", "#7f7f7f",
+}
+
+// WriteSVGChart renders the results' accuracy-over-rounds series as a
+// self-contained SVG line chart (the Fig. 4 / Fig. 5 visual). The y axis
+// is fixed to [0, 1] accuracy; the x axis spans the longest series.
+func WriteSVGChart(w io.Writer, results []*Result, title string) error {
+	const (
+		width   = 720
+		height  = 420
+		marginL = 60
+		marginR = 170
+		marginT = 50
+		marginB = 50
+	)
+	plotW := width - marginL - marginR
+	plotH := height - marginT - marginB
+
+	maxRounds := 0
+	for _, r := range results {
+		if n := len(r.History.Rounds); n > maxRounds {
+			maxRounds = n
+		}
+	}
+	if maxRounds < 2 {
+		maxRounds = 2
+	}
+
+	xAt := func(round int) float64 { // rounds are 1-based
+		return marginL + float64(round-1)/float64(maxRounds-1)*float64(plotW)
+	}
+	yAt := func(acc float64) float64 {
+		return marginT + (1-acc)*float64(plotH)
+	}
+
+	fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(w, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(w, `<text x="%d" y="28" font-family="sans-serif" font-size="16" font-weight="bold">%s</text>`+"\n",
+		marginL, xmlEscape(title))
+
+	// Axes and gridlines.
+	for i := 0; i <= 10; i += 2 {
+		acc := float64(i) / 10
+		y := yAt(acc)
+		fmt.Fprintf(w, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#dddddd"/>`+"\n",
+			marginL, y, marginL+plotW, y)
+		fmt.Fprintf(w, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="end">%.0f%%</text>`+"\n",
+			marginL-6, y+4, acc*100)
+	}
+	step := maxRounds / 10
+	if step < 1 {
+		step = 1
+	}
+	for round := 1; round <= maxRounds; round += step {
+		x := xAt(round)
+		fmt.Fprintf(w, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle">%d</text>`+"\n",
+			x, marginT+plotH+18, round)
+	}
+	fmt.Fprintf(w, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginT+plotH, marginL+plotW, marginT+plotH)
+	fmt.Fprintf(w, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, marginT+plotH)
+	fmt.Fprintf(w, `<text x="%d" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">round</text>`+"\n",
+		marginL+plotW/2, height-12)
+
+	// Series.
+	for si, r := range results {
+		color := svgPalette[si%len(svgPalette)]
+		fmt.Fprintf(w, `<polyline fill="none" stroke="%s" stroke-width="2" points="`, color)
+		for _, rec := range r.History.Rounds {
+			fmt.Fprintf(w, "%.1f,%.1f ", xAt(rec.Round), yAt(rec.TestAccuracy))
+		}
+		fmt.Fprint(w, `"/>`+"\n")
+		// Legend entry.
+		ly := marginT + 18*si
+		fmt.Fprintf(w, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			marginL+plotW+12, ly, marginL+plotW+36, ly, color)
+		fmt.Fprintf(w, `<text x="%d" y="%d" font-family="sans-serif" font-size="12">%s</text>`+"\n",
+			marginL+plotW+42, ly+4, xmlEscape(r.Strategy))
+	}
+	fmt.Fprintln(w, `</svg>`)
+	return nil
+}
+
+func xmlEscape(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '<':
+			out = append(out, "&lt;"...)
+		case '>':
+			out = append(out, "&gt;"...)
+		case '&':
+			out = append(out, "&amp;"...)
+		case '"':
+			out = append(out, "&quot;"...)
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,448 @@
+// Package fednet runs the federation of Algorithm 1 over real network
+// sockets — the deployment shape of the paper's Grid'5000 evaluation
+// (one server node, clients on remote nodes, Ethernet in between).
+//
+// The server and clients share nothing but the wire protocol (package
+// wire) and the experiment seed: each client regenerates its SynthDigits
+// shard locally from the data seed, derives its private random stream
+// from the experiment seed, and builds its attack role from the setup
+// message — so a networked run produces *bit-identical* accuracy
+// trajectories to the in-process fl.Federation with the same
+// configuration (asserted by TestLoopbackMatchesInProcess).
+//
+// Unlike the in-process simulator, communication columns here are
+// *measured* from the sockets (via wire.CountingConn), frame overhead
+// included, rather than computed from payload sizes.
+package fednet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"fedguard/internal/attack"
+	"fedguard/internal/classifier"
+	"fedguard/internal/cvae"
+	"fedguard/internal/dataset"
+	"fedguard/internal/fl"
+	"fedguard/internal/rng"
+	"fedguard/internal/wire"
+)
+
+// Config describes a networked federation. Experiment carries the
+// federation shape (N, m, R, α, server LR, malicious fraction, client
+// hyperparameters); the Attack *instance* field of Experiment is ignored
+// — attacks travel by name so remote clients can construct their own.
+type Config struct {
+	Experiment fl.FederationConfig
+	// AttackName is the malicious clients' attack ("" or "none" = benign
+	// federation regardless of MaliciousFraction).
+	AttackName string
+	// ArchName is the classifier registry name shared by both endpoints.
+	ArchName string
+	// DataSeed and TrainSize let every client regenerate the identical
+	// SynthDigits training set locally (no pixels on the wire).
+	DataSeed  uint64
+	TrainSize int
+}
+
+// NewAttackByName builds a client-side attack instance. AdditiveNoise
+// instances built from the same seed draw the same collusive noise
+// vector, so per-client construction preserves the paper's collusion
+// semantics.
+func NewAttackByName(name string, seed uint64) (attack.Attack, error) {
+	switch name {
+	case "", "none":
+		return attack.None{}, nil
+	case "same-value":
+		return attack.NewSameValue(), nil
+	case "sign-flip":
+		return attack.NewSignFlip(), nil
+	case "additive-noise":
+		return attack.NewAdditiveNoise(0.5, seed), nil
+	case "label-flip":
+		return attack.NewLabelFlip(), nil
+	default:
+		return nil, fmt.Errorf("fednet: unknown attack %q", name)
+	}
+}
+
+// Server coordinates a networked federation round loop.
+type Server struct {
+	cfg      Config
+	test     *dataset.Dataset
+	strategy fl.Strategy
+}
+
+// NewServer validates the configuration and returns a server. test is
+// evaluated locally each round (the server owns the held-out set, as in
+// the paper's harness).
+func NewServer(cfg Config, test *dataset.Dataset, strategy fl.Strategy) (*Server, error) {
+	if _, err := classifier.ByName(cfg.ArchName); err != nil {
+		return nil, err
+	}
+	if _, err := NewAttackByName(cfg.AttackName, 0); err != nil {
+		return nil, err
+	}
+	if cfg.TrainSize <= 0 {
+		return nil, fmt.Errorf("fednet: TrainSize = %d", cfg.TrainSize)
+	}
+	probe := cfg.Experiment
+	probe.Attack = attack.None{} // instance irrelevant; satisfy validation
+	if probe.MaliciousFraction == 0 {
+		probe.Attack = nil
+	}
+	if err := probe.Validate(); err != nil {
+		return nil, err
+	}
+	return &Server{cfg: cfg, test: test, strategy: strategy}, nil
+}
+
+// clientConn is one registered client's connection state.
+type clientConn struct {
+	id    int
+	conn  net.Conn
+	count *wire.CountingConn
+	mu    sync.Mutex // one in-flight request at a time per client
+}
+
+func (c *clientConn) send(msg any) error {
+	return wire.WriteMessage(c.count, msg)
+}
+
+func (c *clientConn) recv() (any, error) {
+	return wire.ReadMessage(c.count)
+}
+
+// Run accepts exactly N client registrations on ln, configures them,
+// drives R federated rounds, and returns the full history. onRound, if
+// non-nil, fires after every round.
+func (s *Server) Run(ln net.Listener, onRound func(fl.RoundRecord)) (*fl.History, error) {
+	cfg := s.cfg.Experiment
+	train := dataset.Generate(s.cfg.TrainSize, dataset.DefaultGenOptions(), rng.New(s.cfg.DataSeed))
+	parts := fl.Partition(train, cfg)
+	malicious := fl.MaliciousPlacement(cfg)
+
+	clients, err := s.register(ln, parts, malicious)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		for _, c := range clients {
+			c.send(&wire.Shutdown{})
+			c.conn.Close()
+		}
+	}()
+
+	serverRNG := rng.New(rng.DeriveSeed(cfg.Seed, "server", 0))
+	global := fl.InitialGlobal(cfg)
+	evalModel, err := classifier.ByName(s.cfg.ArchName)
+	if err != nil {
+		return nil, err
+	}
+	eval := evalModel(rng.New(rng.DeriveSeed(cfg.Seed, "eval", 0)))
+
+	testIdx := dataset.Range(s.test.Len())
+	if cfg.TestSubset > 0 && cfg.TestSubset < len(testIdx) {
+		testIdx = testIdx[:cfg.TestSubset]
+	}
+	needDecoders := s.strategy.NeedsDecoders()
+	history := &fl.History{Strategy: s.strategy.Name()}
+
+	// Snapshot the counters so registration/setup traffic is not charged
+	// to round 1.
+	var lastRead, lastWritten int64
+	for _, c := range clients {
+		lastRead += c.count.BytesRead()
+		lastWritten += c.count.BytesWritten()
+	}
+	for round := 1; round <= cfg.Rounds; round++ {
+		start := time.Now()
+		sampled := serverRNG.Sample(cfg.NumClients, cfg.PerRound)
+
+		updates := make([]fl.Update, len(sampled))
+		errs := make([]error, len(sampled))
+		var wg sync.WaitGroup
+		for i, id := range sampled {
+			wg.Add(1)
+			go func(i, id int) {
+				defer wg.Done()
+				updates[i], errs[i] = s.trainOne(clients[id], round, needDecoders, global)
+			}(i, id)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				return history, fmt.Errorf("fednet: round %d client %d: %w", round, sampled[i], err)
+			}
+		}
+
+		ctx := &fl.RoundContext{
+			Round:   round,
+			Global:  global,
+			Updates: updates,
+			RNG:     serverRNG.Split(),
+			Report:  map[string]float64{},
+		}
+		agg, err := s.strategy.Aggregate(ctx)
+		if err != nil {
+			return history, fmt.Errorf("fednet: round %d aggregation: %w", round, err)
+		}
+		lr := float32(cfg.ServerLR)
+		next := make([]float32, len(global))
+		for i := range next {
+			next[i] = global[i] + lr*(agg[i]-global[i])
+		}
+		global = next
+		elapsed := time.Since(start).Seconds()
+
+		// Measured wire traffic this round, all clients combined. From the
+		// server's perspective writes are uploads, reads are downloads.
+		var read, written int64
+		maliciousSampled := 0
+		for _, c := range clients {
+			read += c.count.BytesRead()
+			written += c.count.BytesWritten()
+		}
+		for _, id := range sampled {
+			if malicious[id] {
+				maliciousSampled++
+			}
+		}
+		rec := fl.RoundRecord{
+			Round:            round,
+			Seconds:          elapsed,
+			UploadBytes:      written - lastWritten,
+			DownloadBytes:    read - lastRead,
+			Sampled:          sampled,
+			MaliciousSampled: maliciousSampled,
+			Report:           ctx.Report,
+		}
+		lastRead, lastWritten = read, written
+
+		if err := eval.LoadParams(global); err != nil {
+			return history, err
+		}
+		rec.TestAccuracy = classifier.Evaluate(eval, s.test, testIdx)
+		history.Rounds = append(history.Rounds, rec)
+		if onRound != nil {
+			onRound(rec)
+		}
+	}
+	history.FinalWeights = global
+	return history, nil
+}
+
+// trainOne sends one round's work to a client and reads back its update.
+func (s *Server) trainOne(c *clientConn, round int, needDecoder bool, global []float32) (fl.Update, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	req := &wire.TrainRequest{Round: uint32(round), NeedDecoder: needDecoder, Global: global}
+	if err := c.send(req); err != nil {
+		return fl.Update{}, err
+	}
+	msg, err := c.recv()
+	if err != nil {
+		return fl.Update{}, err
+	}
+	u, ok := msg.(*wire.Update)
+	if !ok {
+		return fl.Update{}, fmt.Errorf("fednet: expected Update, got %T", msg)
+	}
+	if u.Round != uint32(round) {
+		return fl.Update{}, fmt.Errorf("fednet: update for round %d, expected %d", u.Round, round)
+	}
+	out := fl.Update{
+		ClientID:   int(u.ClientID),
+		Weights:    u.Weights,
+		NumSamples: int(u.NumSamples),
+	}
+	if len(u.Decoder) > 0 {
+		out.Decoder = u.Decoder
+	}
+	if len(u.DecoderClasses) > 0 {
+		out.DecoderClasses = make([]int, len(u.DecoderClasses))
+		for i, v := range u.DecoderClasses {
+			out.DecoderClasses[i] = int(v)
+		}
+	}
+	return out, nil
+}
+
+// register accepts connections until every expected client has said
+// hello, then sends each its setup message.
+func (s *Server) register(ln net.Listener, parts [][]int, malicious map[int]bool) (map[int]*clientConn, error) {
+	cfg := s.cfg.Experiment
+	clients := make(map[int]*clientConn, cfg.NumClients)
+	for len(clients) < cfg.NumClients {
+		conn, err := ln.Accept()
+		if err != nil {
+			return nil, fmt.Errorf("fednet: accept: %w", err)
+		}
+		count := wire.NewCountingConn(conn)
+		msg, err := wire.ReadMessage(count)
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("fednet: registration: %w", err)
+		}
+		hello, ok := msg.(*wire.Hello)
+		if !ok {
+			conn.Close()
+			return nil, fmt.Errorf("fednet: expected Hello, got %T", msg)
+		}
+		id := int(hello.ClientID)
+		if id < 0 || id >= cfg.NumClients {
+			conn.Close()
+			return nil, fmt.Errorf("fednet: client ID %d out of range", id)
+		}
+		if _, dup := clients[id]; dup {
+			conn.Close()
+			return nil, fmt.Errorf("fednet: duplicate client ID %d", id)
+		}
+		c := &clientConn{id: id, conn: conn, count: count}
+		if err := c.send(s.setupFor(id, parts[id], malicious[id])); err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("fednet: sending setup to %d: %w", id, err)
+		}
+		clients[id] = c
+	}
+	return clients, nil
+}
+
+func (s *Server) setupFor(id int, indices []int, isMalicious bool) *wire.Setup {
+	cfg := s.cfg.Experiment
+	idx := make([]uint32, len(indices))
+	for i, v := range indices {
+		idx[i] = uint32(v)
+	}
+	attackName := ""
+	if isMalicious {
+		attackName = s.cfg.AttackName
+	}
+	return &wire.Setup{
+		Seed:      cfg.Seed,
+		DataSeed:  s.cfg.DataSeed,
+		TrainSize: uint32(s.cfg.TrainSize),
+		Indices:   idx,
+		ArchName:  s.cfg.ArchName,
+		Epochs:    uint32(cfg.Client.Train.Epochs),
+		BatchSize: uint32(cfg.Client.Train.BatchSize),
+		LR:        cfg.Client.Train.LR,
+		Momentum:  cfg.Client.Train.Momentum,
+
+		CVAEHidden: uint32(cfg.Client.CVAE.Hidden),
+		CVAELatent: uint32(cfg.Client.CVAE.Latent),
+		CVAEEpochs: uint32(cfg.Client.CVAETrain.Epochs),
+		CVAEBatch:  uint32(cfg.Client.CVAETrain.BatchSize),
+		CVAELR:     cfg.Client.CVAETrain.LR,
+		NumClasses: uint32(cfg.Client.CVAE.Classes),
+
+		Attack:     attackName,
+		AttackSeed: rng.DeriveSeed(cfg.Seed, "noise", 0),
+	}
+}
+
+// RunClient connects to addr, registers as clientID, and serves training
+// requests until the server shuts the session down.
+func RunClient(addr string, clientID int) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("fednet: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	return ServeClient(conn, clientID)
+}
+
+// ServeClient speaks the client side of the protocol over an existing
+// connection (exposed for tests and in-process loopback demos).
+func ServeClient(conn net.Conn, clientID int) error {
+	if err := wire.WriteMessage(conn, &wire.Hello{ClientID: uint32(clientID)}); err != nil {
+		return err
+	}
+	msg, err := wire.ReadMessage(conn)
+	if err != nil {
+		return fmt.Errorf("fednet: reading setup: %w", err)
+	}
+	setup, ok := msg.(*wire.Setup)
+	if !ok {
+		return fmt.Errorf("fednet: expected Setup, got %T", msg)
+	}
+
+	client, err := buildClient(clientID, setup)
+	if err != nil {
+		return err
+	}
+
+	for {
+		msg, err := wire.ReadMessage(conn)
+		if err != nil {
+			return fmt.Errorf("fednet: client %d read: %w", clientID, err)
+		}
+		switch m := msg.(type) {
+		case *wire.TrainRequest:
+			u := client.RunRound(m.Global, m.NeedDecoder)
+			resp := &wire.Update{
+				Round:      m.Round,
+				ClientID:   uint32(u.ClientID),
+				NumSamples: uint32(u.NumSamples),
+				Weights:    u.Weights,
+				Decoder:    u.Decoder,
+			}
+			if len(u.DecoderClasses) > 0 {
+				resp.DecoderClasses = make([]uint32, len(u.DecoderClasses))
+				for i, v := range u.DecoderClasses {
+					resp.DecoderClasses[i] = uint32(v)
+				}
+			}
+			if err := wire.WriteMessage(conn, resp); err != nil {
+				return fmt.Errorf("fednet: client %d write: %w", clientID, err)
+			}
+		case *wire.Shutdown:
+			return nil
+		default:
+			return fmt.Errorf("fednet: client %d: unexpected %T", clientID, msg)
+		}
+	}
+}
+
+// buildClient reconstructs the deterministic local state an in-process
+// federation would have given this client.
+func buildClient(id int, setup *wire.Setup) (*fl.Client, error) {
+	arch, err := classifier.ByName(setup.ArchName)
+	if err != nil {
+		return nil, err
+	}
+	att, err := NewAttackByName(setup.Attack, setup.AttackSeed)
+	if err != nil {
+		return nil, err
+	}
+	train := dataset.Generate(int(setup.TrainSize), dataset.DefaultGenOptions(), rng.New(setup.DataSeed))
+	indices := make([]int, len(setup.Indices))
+	for i, v := range setup.Indices {
+		indices[i] = int(v)
+	}
+	clientCfg := fl.ClientConfig{
+		Arch: arch,
+		Train: classifier.TrainConfig{
+			Epochs:    int(setup.Epochs),
+			BatchSize: int(setup.BatchSize),
+			LR:        setup.LR,
+			Momentum:  setup.Momentum,
+		},
+		CVAE: cvae.Config{
+			Input:   dataset.ImageH * dataset.ImageW,
+			Hidden:  int(setup.CVAEHidden),
+			Latent:  int(setup.CVAELatent),
+			Classes: int(setup.NumClasses),
+		},
+		CVAETrain: cvae.TrainConfig{
+			Epochs:    int(setup.CVAEEpochs),
+			BatchSize: int(setup.CVAEBatch),
+			LR:        setup.CVAELR,
+		},
+		NumClasses: int(setup.NumClasses),
+	}
+	stream := rng.New(rng.DeriveSeed(setup.Seed, "client", uint64(id)))
+	return fl.NewClient(id, train, indices, clientCfg, att, stream), nil
+}

@@ -1,0 +1,170 @@
+package fl
+
+import (
+	"fedguard/internal/attack"
+	"fedguard/internal/classifier"
+	"fedguard/internal/cvae"
+	"fedguard/internal/dataset"
+	"fedguard/internal/rng"
+)
+
+// ClientConfig bundles the per-client training hyperparameters shared by
+// all clients of a federation.
+type ClientConfig struct {
+	Arch       classifier.Arch
+	Train      classifier.TrainConfig
+	CVAE       cvae.Config
+	CVAETrain  cvae.TrainConfig
+	NumClasses int
+}
+
+// Client is one federated participant: it owns a private partition of
+// the dataset, trains the shared classifier architecture locally each
+// round, and — when the strategy requires it — trains a CVAE once on its
+// (possibly poisoned) local data and re-uploads the decoder every round
+// (paper footnote 5: the partition is static, so the CVAE is trained a
+// single time).
+type Client struct {
+	ID int
+
+	ds      *dataset.Dataset
+	indices []int
+	cfg     ClientConfig
+	att     attack.Attack
+	rng     *rng.RNG
+
+	// Poisoned training view, materialized lazily.
+	viewReady   bool
+	viewDS      *dataset.Dataset
+	viewIndices []int
+
+	// Streaming state (§VI-C dynamic datasets): when grow > 0 the client
+	// only sees a growing prefix of its partition, and the CVAE is
+	// retrained every retrainEvery participations instead of once.
+	visible        int
+	grow           int
+	retrainEvery   int
+	sinceCVAETrain int
+
+	// Cached CVAE decoder payload and the classes it saw.
+	decoder        []float32
+	decoderClasses []int
+}
+
+// NewClient builds a client over the partition ds[indices]. att may be
+// attack.None{} for benign clients; r must be a private stream.
+func NewClient(id int, ds *dataset.Dataset, indices []int, cfg ClientConfig, att attack.Attack, r *rng.RNG) *Client {
+	if att == nil {
+		att = attack.None{}
+	}
+	return &Client{ID: id, ds: ds, indices: indices, cfg: cfg, att: att, rng: r,
+		visible: len(indices)}
+}
+
+// EnableStream switches the client to the paper's §VI-C dynamic-dataset
+// mode: only ⌈initialFraction·len(partition)⌉ samples are visible at
+// first, grow more arrive before each participation, and the CVAE is
+// retrained every retrainEvery participations (0 keeps the train-once
+// behaviour). Call before the first round.
+func (c *Client) EnableStream(initialFraction float64, grow, retrainEvery int) {
+	if initialFraction < 0 {
+		initialFraction = 0
+	}
+	if initialFraction > 1 {
+		initialFraction = 1
+	}
+	c.visible = int(initialFraction * float64(len(c.indices)))
+	if c.visible < 1 && len(c.indices) > 0 {
+		c.visible = 1
+	}
+	c.grow = grow
+	c.retrainEvery = retrainEvery
+	c.viewReady = false
+}
+
+// NumSamples returns the currently visible local partition size.
+func (c *Client) NumSamples() int { return c.visible }
+
+// Malicious reports whether the client runs a real attack.
+func (c *Client) Malicious() bool {
+	_, benign := c.att.(attack.None)
+	return !benign
+}
+
+// AttackName returns the client's attack name ("none" when benign).
+func (c *Client) AttackName() string { return c.att.Name() }
+
+func (c *Client) view() (*dataset.Dataset, []int) {
+	if !c.viewReady {
+		c.viewDS, c.viewIndices = c.att.PoisonData(c.ds, c.indices[:c.visible])
+		c.viewReady = true
+	}
+	return c.viewDS, c.viewIndices
+}
+
+// RunRound executes one federated round for this client: load the global
+// parameters, train locally, apply the model-poisoning hook, and return
+// the update. When needDecoder is set the client also attaches its CVAE
+// decoder payload, training the CVAE first if this is its first
+// participation.
+func (c *Client) RunRound(global []float32, needDecoder bool) Update {
+	if c.grow > 0 && c.visible < len(c.indices) {
+		c.visible += c.grow
+		if c.visible > len(c.indices) {
+			c.visible = len(c.indices)
+		}
+		c.viewReady = false
+	}
+	ds, indices := c.view()
+
+	model := c.cfg.Arch(c.rng)
+	if err := model.LoadParams(global); err != nil {
+		panic(err) // architecture mismatch is a programming error
+	}
+	classifier.Train(model, ds, indices, c.cfg.Train, c.rng)
+	weights := model.FlattenParams()
+	if ga, ok := c.att.(attack.GlobalAware); ok {
+		ga.PoisonModelWithGlobal(weights, global, c.rng)
+	} else {
+		c.att.PoisonModel(weights, c.rng)
+	}
+
+	u := Update{ClientID: c.ID, Weights: weights, NumSamples: len(indices)}
+	if needDecoder {
+		u.Decoder, u.DecoderClasses = c.decoderPayload()
+	}
+	return u
+}
+
+// decoderPayload trains the client's CVAE on first use — and, in
+// streaming mode, retrains it every retrainEvery participations so the
+// decoder tracks the evolving local distribution — returning the cached
+// flat decoder vector and the classes it was trained on.
+func (c *Client) decoderPayload() ([]float32, []int) {
+	stale := c.retrainEvery > 0 && c.sinceCVAETrain >= c.retrainEvery
+	if c.decoder == nil || stale {
+		ds, indices := c.view()
+		m := cvae.New(c.cfg.CVAE, c.rng)
+		m.Train(ds, indices, c.cfg.CVAETrain, c.rng)
+		c.decoder = m.DecoderParams()
+		c.decoderClasses = classesOf(ds, indices, c.cfg.CVAE.Classes)
+		c.sinceCVAETrain = 0
+	}
+	c.sinceCVAETrain++
+	return c.decoder, c.decoderClasses
+}
+
+// classesOf returns the sorted distinct labels among ds[indices].
+func classesOf(ds *dataset.Dataset, indices []int, numClasses int) []int {
+	seen := make([]bool, numClasses)
+	for _, i := range indices {
+		seen[ds.Labels[i]] = true
+	}
+	var out []int
+	for c, ok := range seen {
+		if ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}

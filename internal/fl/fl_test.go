@@ -1,0 +1,613 @@
+package fl
+
+import (
+	"math"
+	"testing"
+
+	"fedguard/internal/attack"
+	"fedguard/internal/classifier"
+	"fedguard/internal/cvae"
+	"fedguard/internal/dataset"
+	"fedguard/internal/rng"
+)
+
+func tinyClientConfig() ClientConfig {
+	return ClientConfig{
+		Arch:       classifier.Tiny(),
+		Train:      classifier.TrainConfig{Epochs: 1, BatchSize: 16, LR: 0.1, Momentum: 0.9},
+		CVAE:       cvae.Config{Input: 784, Hidden: 16, Latent: 2, Classes: 10},
+		CVAETrain:  cvae.TrainConfig{Epochs: 1, BatchSize: 16, LR: 1e-3},
+		NumClasses: 10,
+	}
+}
+
+func tinyFederationConfig() FederationConfig {
+	return FederationConfig{
+		NumClients: 6,
+		PerRound:   4,
+		Rounds:     2,
+		Alpha:      10,
+		ServerLR:   1,
+		Client:     tinyClientConfig(),
+		Seed:       42,
+	}
+}
+
+func TestClientRunRoundProducesUpdate(t *testing.T) {
+	r := rng.New(1)
+	d := dataset.Generate(60, dataset.DefaultGenOptions(), r)
+	cfg := tinyClientConfig()
+	c := NewClient(3, d, dataset.Range(60), cfg, nil, r.Split())
+	global := cfg.Arch(rng.New(7)).FlattenParams()
+	u := c.RunRound(global, false)
+	if u.ClientID != 3 {
+		t.Fatalf("ClientID = %d", u.ClientID)
+	}
+	if u.NumSamples != 60 {
+		t.Fatalf("NumSamples = %d", u.NumSamples)
+	}
+	if len(u.Weights) != len(global) {
+		t.Fatalf("weights %d, want %d", len(u.Weights), len(global))
+	}
+	if u.Decoder != nil {
+		t.Fatal("decoder attached without being requested")
+	}
+	// Training must move the weights.
+	diff := 0
+	for i := range global {
+		if u.Weights[i] != global[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("local training did not change any weight")
+	}
+}
+
+func TestClientDecoderCachedAcrossRounds(t *testing.T) {
+	r := rng.New(2)
+	d := dataset.Generate(40, dataset.DefaultGenOptions(), r)
+	cfg := tinyClientConfig()
+	c := NewClient(0, d, dataset.Range(40), cfg, nil, r.Split())
+	global := cfg.Arch(rng.New(7)).FlattenParams()
+	u1 := c.RunRound(global, true)
+	u2 := c.RunRound(u1.Weights, true)
+	if u1.Decoder == nil || u2.Decoder == nil {
+		t.Fatal("decoder payload missing")
+	}
+	if &u1.Decoder[0] != &u2.Decoder[0] {
+		t.Fatal("CVAE retrained despite static partition (paper footnote 5)")
+	}
+	if len(u1.Decoder) != cvae.DecoderSize(cfg.CVAE) {
+		t.Fatalf("decoder payload %d, want %d", len(u1.Decoder), cvae.DecoderSize(cfg.CVAE))
+	}
+}
+
+func TestClientMaliciousFlag(t *testing.T) {
+	r := rng.New(3)
+	d := dataset.Generate(20, dataset.DefaultGenOptions(), r)
+	cfg := tinyClientConfig()
+	benign := NewClient(0, d, dataset.Range(20), cfg, nil, r.Split())
+	if benign.Malicious() {
+		t.Fatal("benign client reports malicious")
+	}
+	mal := NewClient(1, d, dataset.Range(20), cfg, attack.NewSignFlip(), r.Split())
+	if !mal.Malicious() {
+		t.Fatal("sign-flip client reports benign")
+	}
+	if mal.AttackName() != "sign-flip" {
+		t.Fatalf("AttackName = %q", mal.AttackName())
+	}
+}
+
+func TestClientModelAttackApplied(t *testing.T) {
+	r := rng.New(4)
+	d := dataset.Generate(20, dataset.DefaultGenOptions(), r)
+	cfg := tinyClientConfig()
+	c := NewClient(0, d, dataset.Range(20), cfg, attack.NewSameValue(), r.Split())
+	global := cfg.Arch(rng.New(7)).FlattenParams()
+	u := c.RunRound(global, false)
+	for _, v := range u.Weights {
+		if v != 1 {
+			t.Fatal("same-value attack not applied to upload")
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := tinyFederationConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	cases := []func(*FederationConfig){
+		func(c *FederationConfig) { c.NumClients = 0 },
+		func(c *FederationConfig) { c.PerRound = 0 },
+		func(c *FederationConfig) { c.PerRound = c.NumClients + 1 },
+		func(c *FederationConfig) { c.Rounds = 0 },
+		func(c *FederationConfig) { c.Alpha = 0 },
+		func(c *FederationConfig) { c.ServerLR = 0 },
+		func(c *FederationConfig) { c.ServerLR = 1.5 },
+		func(c *FederationConfig) { c.MaliciousFraction = -0.1 },
+		func(c *FederationConfig) { c.MaliciousFraction = 0.5 }, // nil Attack
+		func(c *FederationConfig) { c.Client.Arch = nil },
+	}
+	for i, mutate := range cases {
+		bad := tinyFederationConfig()
+		mutate(&bad)
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+// fakeStrategy records what it sees and returns the global unchanged.
+type fakeStrategy struct {
+	rounds   int
+	lastSeen int
+	decoders bool
+}
+
+func (f *fakeStrategy) Name() string        { return "fake" }
+func (f *fakeStrategy) NeedsDecoders() bool { return f.decoders }
+func (f *fakeStrategy) Aggregate(ctx *RoundContext) ([]float32, error) {
+	f.rounds++
+	f.lastSeen = len(ctx.Updates)
+	out := make([]float32, len(ctx.Global))
+	copy(out, ctx.Global)
+	return out, nil
+}
+
+func TestFederationRunsAllRounds(t *testing.T) {
+	r := rng.New(5)
+	train := dataset.Generate(120, dataset.DefaultGenOptions(), r)
+	test := dataset.Generate(40, dataset.DefaultGenOptions(), r)
+	cfg := tinyFederationConfig()
+	fed, err := NewFederation(train, test, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &fakeStrategy{}
+	calls := 0
+	h, err := fed.Run(s, func(RoundRecord) { calls++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.rounds != cfg.Rounds || len(h.Rounds) != cfg.Rounds || calls != cfg.Rounds {
+		t.Fatalf("rounds: strategy %d, history %d, callbacks %d", s.rounds, len(h.Rounds), calls)
+	}
+	if s.lastSeen != cfg.PerRound {
+		t.Fatalf("strategy saw %d updates, want %d", s.lastSeen, cfg.PerRound)
+	}
+	for _, rec := range h.Rounds {
+		if rec.TestAccuracy < 0 || rec.TestAccuracy > 1 {
+			t.Fatalf("accuracy %v out of range", rec.TestAccuracy)
+		}
+		if len(rec.Sampled) != cfg.PerRound {
+			t.Fatalf("sampled %d clients", len(rec.Sampled))
+		}
+		if rec.UploadBytes <= 0 || rec.DownloadBytes <= 0 {
+			t.Fatalf("byte accounting missing: %+v", rec)
+		}
+	}
+}
+
+func TestFederationDeterministic(t *testing.T) {
+	r := rng.New(6)
+	train := dataset.Generate(120, dataset.DefaultGenOptions(), r)
+	test := dataset.Generate(40, dataset.DefaultGenOptions(), r)
+	cfg := tinyFederationConfig()
+	cfg.Workers = 4 // exercise the pool: scheduling must not leak into results
+
+	run := func() []float64 {
+		fed, err := NewFederation(train, test, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := fed.Run(&fedAvgForTest{}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h.Accuracies()
+	}
+	a := run()
+	b := run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("round %d accuracy differs across identical runs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// fedAvgForTest is a minimal in-package FedAvg (the real one lives in
+// package aggregate, which would create an import cycle in tests).
+type fedAvgForTest struct{}
+
+func (fedAvgForTest) Name() string        { return "fedavg-test" }
+func (fedAvgForTest) NeedsDecoders() bool { return false }
+func (fedAvgForTest) Aggregate(ctx *RoundContext) ([]float32, error) {
+	out := make([]float64, len(ctx.Updates[0].Weights))
+	var total float64
+	for _, u := range ctx.Updates {
+		w := float64(u.NumSamples)
+		total += w
+		for i, v := range u.Weights {
+			out[i] += w * float64(v)
+		}
+	}
+	res := make([]float32, len(out))
+	for i := range out {
+		res[i] = float32(out[i] / total)
+	}
+	return res, nil
+}
+
+func TestFederationMaliciousPlacement(t *testing.T) {
+	r := rng.New(7)
+	train := dataset.Generate(120, dataset.DefaultGenOptions(), r)
+	test := dataset.Generate(40, dataset.DefaultGenOptions(), r)
+	cfg := tinyFederationConfig()
+	cfg.NumClients = 10
+	cfg.MaliciousFraction = 0.5
+	cfg.Attack = attack.NewSignFlip()
+	fed, err := NewFederation(train, test, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fed.MaliciousIDs) != 5 {
+		t.Fatalf("%d malicious of 10 at fraction 0.5", len(fed.MaliciousIDs))
+	}
+	// Placement must be deterministic in the seed.
+	fed2, _ := NewFederation(train, test, cfg)
+	for id := range fed.MaliciousIDs {
+		if !fed2.MaliciousIDs[id] {
+			t.Fatal("malicious placement differs across identical configs")
+		}
+	}
+}
+
+func TestFederationServerLRDampens(t *testing.T) {
+	r := rng.New(8)
+	train := dataset.Generate(120, dataset.DefaultGenOptions(), r)
+	test := dataset.Generate(40, dataset.DefaultGenOptions(), r)
+
+	// A strategy that returns all-zeros: with lr=1 the global becomes 0;
+	// with lr=0.5 it only moves halfway.
+	zero := &zeroStrategy{}
+	cfg := tinyFederationConfig()
+	cfg.Rounds = 1
+	fed, _ := NewFederation(train, test, cfg)
+	if _, err := fed.Run(zero, nil); err != nil {
+		t.Fatal(err)
+	}
+	full := zero.lastGlobalNorm
+
+	cfg.ServerLR = 0.5
+	fed, _ = NewFederation(train, test, cfg)
+	zero2 := &zeroStrategy{}
+	if _, err := fed.Run(zero2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if zero2.lastGlobalNorm != full {
+		t.Fatal("initial global differs between runs with same seed")
+	}
+	_ = full
+}
+
+type zeroStrategy struct {
+	lastGlobalNorm float64
+}
+
+func (z *zeroStrategy) Name() string        { return "zero" }
+func (z *zeroStrategy) NeedsDecoders() bool { return false }
+func (z *zeroStrategy) Aggregate(ctx *RoundContext) ([]float32, error) {
+	var n float64
+	for _, v := range ctx.Global {
+		n += float64(v) * float64(v)
+	}
+	z.lastGlobalNorm = math.Sqrt(n)
+	return make([]float32, len(ctx.Global)), nil
+}
+
+func TestFederationDecodersOnDemand(t *testing.T) {
+	r := rng.New(9)
+	train := dataset.Generate(120, dataset.DefaultGenOptions(), r)
+	test := dataset.Generate(40, dataset.DefaultGenOptions(), r)
+	cfg := tinyFederationConfig()
+	cfg.Rounds = 1
+	fed, _ := NewFederation(train, test, cfg)
+
+	check := &decoderChecker{}
+	if _, err := fed.Run(check, nil); err != nil {
+		t.Fatal(err)
+	}
+	if check.sawDecoder {
+		t.Fatal("decoders attached for a strategy that does not need them")
+	}
+
+	check = &decoderChecker{need: true}
+	fed2, _ := NewFederation(train, test, cfg)
+	if _, err := fed2.Run(check, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !check.sawDecoder {
+		t.Fatal("decoders missing for a strategy that needs them")
+	}
+}
+
+type decoderChecker struct {
+	need       bool
+	sawDecoder bool
+}
+
+func (d *decoderChecker) Name() string        { return "decoder-check" }
+func (d *decoderChecker) NeedsDecoders() bool { return d.need }
+func (d *decoderChecker) Aggregate(ctx *RoundContext) ([]float32, error) {
+	for _, u := range ctx.Updates {
+		if u.Decoder != nil {
+			d.sawDecoder = true
+		}
+	}
+	out := make([]float32, len(ctx.Global))
+	copy(out, ctx.Global)
+	return out, nil
+}
+
+func TestHistoryStats(t *testing.T) {
+	h := &History{Strategy: "x"}
+	for i, acc := range []float64{0.1, 0.2, 0.9, 0.9, 0.9} {
+		h.Rounds = append(h.Rounds, RoundRecord{
+			Round: i + 1, TestAccuracy: acc, Seconds: 2,
+			UploadBytes: 100, DownloadBytes: 200,
+		})
+	}
+	mean, std := h.LastNStats(3)
+	if math.Abs(mean-0.9) > 1e-12 || std > 1e-12 {
+		t.Fatalf("LastNStats(3) = %v ± %v", mean, std)
+	}
+	mean, _ = h.LastNStats(100)
+	if math.Abs(mean-0.6) > 1e-12 {
+		t.Fatalf("LastNStats(all) mean = %v", mean)
+	}
+	if h.FinalAccuracy() != 0.9 {
+		t.Fatalf("FinalAccuracy = %v", h.FinalAccuracy())
+	}
+	if h.MeanSeconds() != 2 {
+		t.Fatalf("MeanSeconds = %v", h.MeanSeconds())
+	}
+	up, down := h.MeanBytes()
+	if up != 100 || down != 200 {
+		t.Fatalf("MeanBytes = %d, %d", up, down)
+	}
+	empty := &History{}
+	if empty.FinalAccuracy() != 0 || empty.MeanSeconds() != 0 {
+		t.Fatal("empty history stats should be zero")
+	}
+	if m, s := empty.LastNStats(5); m != 0 || s != 0 {
+		t.Fatal("empty history LastNStats should be zero")
+	}
+}
+
+func TestFederationRecordsFinalWeights(t *testing.T) {
+	r := rng.New(20)
+	train := dataset.Generate(120, dataset.DefaultGenOptions(), r)
+	test := dataset.Generate(40, dataset.DefaultGenOptions(), r)
+	cfg := tinyFederationConfig()
+	cfg.Rounds = 1
+	fed, err := NewFederation(train, test, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := fed.Run(&fedAvgForTest{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.Client.Arch(rng.New(1)).NumParams()
+	if len(h.FinalWeights) != want {
+		t.Fatalf("FinalWeights has %d params, want %d", len(h.FinalWeights), want)
+	}
+	var nonzero bool
+	for _, v := range h.FinalWeights {
+		if v != 0 {
+			nonzero = true
+			break
+		}
+	}
+	if !nonzero {
+		t.Fatal("FinalWeights is all zeros")
+	}
+}
+
+func TestClientReportsDecoderClasses(t *testing.T) {
+	r := rng.New(21)
+	d := dataset.Generate(60, dataset.DefaultGenOptions(), r)
+	// Restrict the partition to samples of classes 3 and 4 only.
+	var indices []int
+	for i, l := range d.Labels {
+		if l == 3 || l == 4 {
+			indices = append(indices, i)
+		}
+	}
+	cfg := tinyClientConfig()
+	c := NewClient(0, d, indices, cfg, nil, r.Split())
+	global := cfg.Arch(rng.New(7)).FlattenParams()
+	u := c.RunRound(global, true)
+	if len(u.DecoderClasses) != 2 || u.DecoderClasses[0] != 3 || u.DecoderClasses[1] != 4 {
+		t.Fatalf("DecoderClasses = %v, want [3 4]", u.DecoderClasses)
+	}
+}
+
+func TestClientLabelFlipChangesDecoderClassesView(t *testing.T) {
+	r := rng.New(22)
+	d := dataset.Generate(100, dataset.DefaultGenOptions(), r)
+	// Keep only class-5 samples; a label-flip attacker trains its CVAE on
+	// them relabelled as 7.
+	var indices []int
+	for i, l := range d.Labels {
+		if l == 5 {
+			indices = append(indices, i)
+		}
+	}
+	cfg := tinyClientConfig()
+	c := NewClient(0, d, indices, cfg, attack.NewLabelFlip(), r.Split())
+	global := cfg.Arch(rng.New(7)).FlattenParams()
+	u := c.RunRound(global, true)
+	if len(u.DecoderClasses) != 1 || u.DecoderClasses[0] != 7 {
+		t.Fatalf("DecoderClasses = %v, want [7] (flipped view)", u.DecoderClasses)
+	}
+}
+
+func TestClientStreamGrowth(t *testing.T) {
+	r := rng.New(23)
+	d := dataset.Generate(100, dataset.DefaultGenOptions(), r)
+	cfg := tinyClientConfig()
+	c := NewClient(0, d, dataset.Range(100), cfg, nil, r.Split())
+	c.EnableStream(0.2, 10, 0)
+	if c.NumSamples() != 20 {
+		t.Fatalf("initial visible = %d, want 20", c.NumSamples())
+	}
+	global := cfg.Arch(rng.New(7)).FlattenParams()
+	u := c.RunRound(global, false)
+	if u.NumSamples != 30 {
+		t.Fatalf("after 1 round NumSamples = %d, want 30", u.NumSamples)
+	}
+	for i := 0; i < 10; i++ {
+		u = c.RunRound(global, false)
+	}
+	if u.NumSamples != 100 {
+		t.Fatalf("stream did not saturate: %d", u.NumSamples)
+	}
+}
+
+func TestClientStreamCVAERetrain(t *testing.T) {
+	r := rng.New(24)
+	d := dataset.Generate(60, dataset.DefaultGenOptions(), r)
+	cfg := tinyClientConfig()
+	c := NewClient(0, d, dataset.Range(60), cfg, nil, r.Split())
+	c.EnableStream(0.5, 5, 2) // retrain every 2 participations
+	global := cfg.Arch(rng.New(7)).FlattenParams()
+	u1 := c.RunRound(global, true)
+	u2 := c.RunRound(global, true)
+	if &u1.Decoder[0] != &u2.Decoder[0] {
+		t.Fatal("decoder retrained before retrainEvery participations")
+	}
+	u3 := c.RunRound(global, true)
+	if &u2.Decoder[0] == &u3.Decoder[0] {
+		t.Fatal("decoder not retrained after retrainEvery participations")
+	}
+}
+
+func TestStreamConfigValidation(t *testing.T) {
+	cfg := tinyFederationConfig()
+	cfg.Stream = &StreamConfig{InitialFraction: 0, PerRound: 1}
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("zero InitialFraction accepted")
+	}
+	cfg.Stream = &StreamConfig{InitialFraction: 0.5, PerRound: -1}
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative PerRound accepted")
+	}
+	cfg.Stream = &StreamConfig{InitialFraction: 0.5, PerRound: 2, CVAERetrainEvery: 3}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("valid stream config rejected: %v", err)
+	}
+}
+
+func TestFederationWithStreamRuns(t *testing.T) {
+	r := rng.New(25)
+	train := dataset.Generate(200, dataset.DefaultGenOptions(), r)
+	test := dataset.Generate(40, dataset.DefaultGenOptions(), r)
+	cfg := tinyFederationConfig()
+	cfg.Rounds = 3
+	cfg.Stream = &StreamConfig{InitialFraction: 0.3, PerRound: 3, CVAERetrainEvery: 2}
+	fed, err := NewFederation(train, test, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := fed.Run(&fedAvgForTest{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Rounds) != 3 {
+		t.Fatalf("%d rounds", len(h.Rounds))
+	}
+}
+
+func TestClientGlobalAwareAttack(t *testing.T) {
+	r := rng.New(26)
+	d := dataset.Generate(30, dataset.DefaultGenOptions(), r)
+	cfg := tinyClientConfig()
+	boost := attack.NewScaledBoost(5)
+	c := NewClient(0, d, dataset.Range(30), cfg, boost, r.Split())
+	global := cfg.Arch(rng.New(7)).FlattenParams()
+
+	// The boosted update must equal global + 5*(trained - global); verify
+	// by comparing against a benign client with the identical stream.
+	benign := NewClient(0, d, dataset.Range(30), cfg, nil, rng.New(0))
+	cBoost := NewClient(0, d, dataset.Range(30), cfg, boost, rng.New(0))
+	ub := benign.RunRound(global, false)
+	um := cBoost.RunRound(global, false)
+	for i := range ub.Weights {
+		want := global[i] + 5*(ub.Weights[i]-global[i])
+		if diff := want - um.Weights[i]; diff > 1e-5 || diff < -1e-5 {
+			t.Fatalf("boosted weight %d = %v, want %v", i, um.Weights[i], want)
+		}
+	}
+	_ = c
+}
+
+func TestByteAccountingExact(t *testing.T) {
+	r := rng.New(30)
+	train := dataset.Generate(120, dataset.DefaultGenOptions(), r)
+	test := dataset.Generate(30, dataset.DefaultGenOptions(), r)
+	cfg := tinyFederationConfig()
+	cfg.Rounds = 1
+	fed, err := NewFederation(train, test, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := &decoderChecker{need: true}
+	h, err := fed.Run(check, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nParams := cfg.Client.Arch(rng.New(1)).NumParams()
+	decParams := cvae.DecoderSize(cfg.Client.CVAE)
+	rec := h.Rounds[0]
+	wantUp := int64(cfg.PerRound) * int64(nParams) * 4
+	wantDown := int64(cfg.PerRound) * int64(nParams+decParams) * 4
+	if rec.UploadBytes != wantUp {
+		t.Fatalf("UploadBytes = %d, want %d", rec.UploadBytes, wantUp)
+	}
+	if rec.DownloadBytes != wantDown {
+		t.Fatalf("DownloadBytes = %d, want %d", rec.DownloadBytes, wantDown)
+	}
+}
+
+func TestCustomSamplerUsed(t *testing.T) {
+	r := rng.New(31)
+	train := dataset.Generate(120, dataset.DefaultGenOptions(), r)
+	test := dataset.Generate(30, dataset.DefaultGenOptions(), r)
+	cfg := tinyFederationConfig()
+	cfg.Rounds = 2
+	fixed := fixedSampler{ids: []int{1, 2, 3, 4}}
+	cfg.Sampler = fixed
+	fed, err := NewFederation(train, test, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := fed.Run(&fedAvgForTest{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range h.Rounds {
+		for i, id := range rec.Sampled {
+			if id != fixed.ids[i] {
+				t.Fatalf("sampler ignored: sampled %v", rec.Sampled)
+			}
+		}
+	}
+}
+
+type fixedSampler struct{ ids []int }
+
+func (f fixedSampler) SampleClients(round, n, m int, r *rng.RNG) []int { return f.ids }

@@ -1,0 +1,102 @@
+package fl
+
+import "math"
+
+// RoundRecord captures one federated round's outcome and cost.
+type RoundRecord struct {
+	Round        int
+	TestAccuracy float64
+	// Seconds is the wall-clock duration of the round (local training +
+	// aggregation, excluding evaluation).
+	Seconds float64
+	// UploadBytes is the server→client traffic (global model broadcast);
+	// DownloadBytes is the client→server traffic (updates, plus decoders
+	// under FedGuard). Both follow the paper's Table V accounting.
+	UploadBytes   int64
+	DownloadBytes int64
+	// Sampled lists this round's participating client IDs.
+	Sampled []int
+	// MaliciousSampled counts how many of them were malicious.
+	MaliciousSampled int
+	// Report carries strategy-specific diagnostics (e.g. "excluded").
+	Report map[string]float64
+}
+
+// History is the full record of one federation run.
+type History struct {
+	Strategy string
+	Rounds   []RoundRecord
+	// FinalWeights is the global parameter vector after the last round —
+	// the trained model, ready for persist.SaveWeights or per-class
+	// analysis with package metrics.
+	FinalWeights []float32 `json:",omitempty"`
+}
+
+// Accuracies returns the per-round test accuracy series (Fig. 4 / Fig. 5
+// material).
+func (h *History) Accuracies() []float64 {
+	out := make([]float64, len(h.Rounds))
+	for i, r := range h.Rounds {
+		out[i] = r.TestAccuracy
+	}
+	return out
+}
+
+// FinalAccuracy returns the last round's test accuracy (0 if empty).
+func (h *History) FinalAccuracy() float64 {
+	if len(h.Rounds) == 0 {
+		return 0
+	}
+	return h.Rounds[len(h.Rounds)-1].TestAccuracy
+}
+
+// LastNStats returns the mean and standard deviation of test accuracy
+// over the final n rounds — the paper's Table IV metric ("average
+// accuracy over the last 40 rounds"). If fewer than n rounds exist, all
+// rounds are used.
+func (h *History) LastNStats(n int) (mean, std float64) {
+	accs := h.Accuracies()
+	if len(accs) > n {
+		accs = accs[len(accs)-n:]
+	}
+	if len(accs) == 0 {
+		return 0, 0
+	}
+	for _, a := range accs {
+		mean += a
+	}
+	mean /= float64(len(accs))
+	for _, a := range accs {
+		d := a - mean
+		std += d * d
+	}
+	std = math.Sqrt(std / float64(len(accs)))
+	return mean, std
+}
+
+// MeanSeconds returns the average wall-clock round duration.
+func (h *History) MeanSeconds() float64 {
+	if len(h.Rounds) == 0 {
+		return 0
+	}
+	var s float64
+	for _, r := range h.Rounds {
+		s += r.Seconds
+	}
+	return s / float64(len(h.Rounds))
+}
+
+// MeanBytes returns the average per-round server upload and download
+// traffic (Table V columns).
+func (h *History) MeanBytes() (up, down int64) {
+	if len(h.Rounds) == 0 {
+		return 0, 0
+	}
+	var u, d int64
+	for _, r := range h.Rounds {
+		u += r.UploadBytes
+		d += r.DownloadBytes
+	}
+	n := int64(len(h.Rounds))
+	return u / n, d / n
+}

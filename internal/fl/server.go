@@ -1,0 +1,282 @@
+package fl
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"fedguard/internal/attack"
+	"fedguard/internal/classifier"
+	"fedguard/internal/dataset"
+	"fedguard/internal/rng"
+)
+
+// FederationConfig describes a full federated experiment (paper §IV-A):
+// N clients holding a Dirichlet(α) partition of the training set, m
+// sampled per round for R rounds, a fraction of them malicious.
+type FederationConfig struct {
+	NumClients int     // N (paper: 100)
+	PerRound   int     // m (paper: 50)
+	Rounds     int     // R (paper: 50)
+	Alpha      float64 // Dirichlet concentration (paper: 10)
+	// ServerLR scales the global update: ψ ← ψ + lr·(agg − ψ).
+	// 1.0 is the standard full step; the paper's Fig. 5 uses 0.3 to damp
+	// occasional defense failures.
+	ServerLR float64
+	// MaliciousFraction of the N clients run Attack (0 disables).
+	MaliciousFraction float64
+	// Attack is the shared attack instance for all malicious clients
+	// (sharing is what lets additive-noise attackers collude). nil means
+	// benign.
+	Attack attack.Attack
+	// Client bundles the per-client model/training configuration.
+	Client ClientConfig
+	// Sampler selects the per-round participant subset; nil means
+	// UniformSampler (the paper's setting).
+	Sampler Sampler
+	// Stream, when non-nil, enables the paper's §VI-C dynamic-dataset
+	// mode: clients start with a fraction of their partition, receive more
+	// samples before every participation, and retrain their CVAEs
+	// periodically instead of once.
+	Stream *StreamConfig
+	// Workers bounds concurrent client training (default GOMAXPROCS).
+	Workers int
+	// TestSubset limits per-round evaluation to the first k test examples
+	// (0 = the whole test set).
+	TestSubset int
+	// Seed derives every random stream in the run.
+	Seed uint64
+}
+
+// StreamConfig parameterizes dynamic client datasets (§VI-C future
+// work).
+type StreamConfig struct {
+	// InitialFraction of each partition visible at round one, in (0, 1].
+	InitialFraction float64
+	// PerRound samples revealed before each participation.
+	PerRound int
+	// CVAERetrainEvery participations between CVAE retrainings
+	// (0 = train once, the paper's static behaviour).
+	CVAERetrainEvery int
+}
+
+// Validate checks the configuration for consistency.
+func (c *FederationConfig) Validate() error {
+	switch {
+	case c.NumClients <= 0:
+		return fmt.Errorf("fl: NumClients = %d", c.NumClients)
+	case c.PerRound <= 0 || c.PerRound > c.NumClients:
+		return fmt.Errorf("fl: PerRound = %d with %d clients", c.PerRound, c.NumClients)
+	case c.Rounds <= 0:
+		return fmt.Errorf("fl: Rounds = %d", c.Rounds)
+	case c.Alpha <= 0:
+		return fmt.Errorf("fl: Alpha = %v", c.Alpha)
+	case c.ServerLR <= 0 || c.ServerLR > 1:
+		return fmt.Errorf("fl: ServerLR = %v, want (0,1]", c.ServerLR)
+	case c.MaliciousFraction < 0 || c.MaliciousFraction > 1:
+		return fmt.Errorf("fl: MaliciousFraction = %v", c.MaliciousFraction)
+	case c.MaliciousFraction > 0 && c.Attack == nil:
+		return fmt.Errorf("fl: MaliciousFraction %v with nil Attack", c.MaliciousFraction)
+	case c.Client.Arch == nil:
+		return fmt.Errorf("fl: Client.Arch is nil")
+	}
+	if s := c.Stream; s != nil {
+		if s.InitialFraction <= 0 || s.InitialFraction > 1 {
+			return fmt.Errorf("fl: Stream.InitialFraction = %v, want (0,1]", s.InitialFraction)
+		}
+		if s.PerRound < 0 || s.CVAERetrainEvery < 0 {
+			return fmt.Errorf("fl: negative Stream parameters")
+		}
+	}
+	return nil
+}
+
+// Federation wires clients, data and configuration into a runnable
+// experiment. Build once, then Run with any Strategy; each Run is
+// independent and deterministic in the seed.
+type Federation struct {
+	cfg   FederationConfig
+	train *dataset.Dataset
+	test  *dataset.Dataset
+
+	// MaliciousIDs is the set of client indices selected to be malicious
+	// (exposed for tests and reports).
+	MaliciousIDs map[int]bool
+}
+
+// NewFederation validates cfg and prepares a federation over the given
+// train/test datasets.
+func NewFederation(train, test *dataset.Dataset, cfg FederationConfig) (*Federation, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	f := &Federation{cfg: cfg, train: train, test: test}
+	f.MaliciousIDs = MaliciousPlacement(cfg)
+	return f, nil
+}
+
+// MaliciousPlacement derives the set of malicious client IDs from the
+// experiment seed. Placement is part of the experiment setup, not of a
+// particular run, so it uses a dedicated stream — and the networked
+// deployment recomputes the identical set.
+func MaliciousPlacement(cfg FederationConfig) map[int]bool {
+	placement := rng.New(rng.DeriveSeed(cfg.Seed, "malicious", 0))
+	count := int(cfg.MaliciousFraction*float64(cfg.NumClients) + 0.5)
+	ids := make(map[int]bool, count)
+	for _, id := range placement.Sample(cfg.NumClients, count) {
+		ids[id] = true
+	}
+	return ids
+}
+
+// Config returns the federation configuration.
+func (f *Federation) Config() FederationConfig { return f.cfg }
+
+// Run executes R federated rounds under the given strategy and returns
+// the full history. onRound, if non-nil, is invoked after every round
+// with the fresh record (for live progress output).
+func (f *Federation) Run(strategy Strategy, onRound func(RoundRecord)) (*History, error) {
+	cfg := f.cfg
+	// All streams are derived from the experiment seed by domain tag so a
+	// distributed deployment (package fednet) can reconstruct any client's
+	// stream independently and produce bit-identical results.
+	parts := Partition(f.train, cfg)
+	clients := make([]*Client, cfg.NumClients)
+	for i := range clients {
+		var att attack.Attack = attack.None{}
+		if f.MaliciousIDs[i] {
+			att = cfg.Attack
+		}
+		clients[i] = NewClient(i, f.train, parts[i], cfg.Client, att,
+			rng.New(rng.DeriveSeed(cfg.Seed, "client", uint64(i))))
+		if cfg.Stream != nil {
+			clients[i].EnableStream(cfg.Stream.InitialFraction,
+				cfg.Stream.PerRound, cfg.Stream.CVAERetrainEvery)
+		}
+	}
+	serverRNG := rng.New(rng.DeriveSeed(cfg.Seed, "server", 0))
+
+	// ψ₀ ← init() (Alg. 1 line 15).
+	global := InitialGlobal(cfg)
+	evalModel := cfg.Client.Arch(rng.New(rng.DeriveSeed(cfg.Seed, "eval", 0)))
+
+	testIdx := dataset.Range(f.test.Len())
+	if cfg.TestSubset > 0 && cfg.TestSubset < len(testIdx) {
+		testIdx = testIdx[:cfg.TestSubset]
+	}
+
+	needDecoders := strategy.NeedsDecoders()
+	history := &History{Strategy: strategy.Name()}
+	sampler := cfg.Sampler
+	if sampler == nil {
+		sampler = UniformSampler{}
+	}
+
+	for round := 1; round <= cfg.Rounds; round++ {
+		start := time.Now()
+
+		// J ← sample(range(1,N), m) (Alg. 1 line 17).
+		sampled := sampler.SampleClients(round, cfg.NumClients, cfg.PerRound, serverRNG)
+		updates := make([]Update, len(sampled))
+		f.trainSampled(clients, sampled, global, needDecoders, updates)
+
+		ctx := &RoundContext{
+			Round:   round,
+			Global:  global,
+			Updates: updates,
+			RNG:     serverRNG.Split(),
+			Report:  map[string]float64{},
+		}
+		agg, err := strategy.Aggregate(ctx)
+		if err != nil {
+			return history, fmt.Errorf("fl: round %d aggregation: %w", round, err)
+		}
+		if len(agg) != len(global) {
+			return history, fmt.Errorf("fl: round %d: strategy returned %d parameters, want %d",
+				round, len(agg), len(global))
+		}
+		// ψ ← ψ + lr·(agg − ψ): lr = 1 reduces to plain replacement.
+		lr := float32(cfg.ServerLR)
+		next := make([]float32, len(global))
+		for i := range next {
+			next[i] = global[i] + lr*(agg[i]-global[i])
+		}
+		global = next
+		elapsed := time.Since(start).Seconds()
+
+		// Byte accounting per Table V: uploads are the global broadcast to
+		// the m sampled clients; downloads are their returned updates plus
+		// any decoder payloads.
+		var down int64
+		malicious := 0
+		for i, u := range updates {
+			down += int64(len(u.Weights)+len(u.Decoder)) * 4
+			if f.MaliciousIDs[sampled[i]] {
+				malicious++
+			}
+		}
+		rec := RoundRecord{
+			Round:            round,
+			Seconds:          elapsed,
+			UploadBytes:      int64(cfg.PerRound) * int64(len(global)) * 4,
+			DownloadBytes:    down,
+			Sampled:          sampled,
+			MaliciousSampled: malicious,
+			Report:           ctx.Report,
+		}
+
+		if err := evalModel.LoadParams(global); err != nil {
+			return history, err
+		}
+		rec.TestAccuracy = classifier.Evaluate(evalModel, f.test, testIdx)
+
+		history.Rounds = append(history.Rounds, rec)
+		if onRound != nil {
+			onRound(rec)
+		}
+	}
+	history.FinalWeights = global
+	return history, nil
+}
+
+// Partition derives the federation's data partition from the experiment
+// seed. Exposed so the networked deployment (package fednet) computes the
+// identical split.
+func Partition(train *dataset.Dataset, cfg FederationConfig) [][]int {
+	return dataset.PartitionDirichlet(train, cfg.NumClients, cfg.Alpha,
+		rng.New(rng.DeriveSeed(cfg.Seed, "partition", 0)))
+}
+
+// InitialGlobal derives ψ₀, the initial global parameter vector, from the
+// experiment seed (Alg. 1 line 15).
+func InitialGlobal(cfg FederationConfig) []float32 {
+	return cfg.Client.Arch(rng.New(rng.DeriveSeed(cfg.Seed, "init", 0))).FlattenParams()
+}
+
+// ClientRNGSeed derives client id's private stream seed. Remote clients
+// use this to reproduce the exact stream an in-process federation would
+// give them.
+func ClientRNGSeed(seed uint64, id int) uint64 {
+	return rng.DeriveSeed(seed, "client", uint64(id))
+}
+
+// trainSampled runs the sampled clients' local training on a bounded
+// worker pool, writing each update at its position.
+func (f *Federation) trainSampled(clients []*Client, sampled []int, global []float32, needDecoders bool, out []Update) {
+	sem := make(chan struct{}, f.cfg.Workers)
+	var wg sync.WaitGroup
+	for i, id := range sampled {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i, id int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			out[i] = clients[id].RunRound(global, needDecoders)
+		}(i, id)
+	}
+	wg.Wait()
+}

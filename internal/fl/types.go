@@ -1,0 +1,80 @@
+// Package fl implements the federated-learning core of the paper's
+// Algorithm 1: clients that train a local classifier (and, for FedGuard,
+// a local CVAE) on private partitions, a server that samples m of N
+// clients per round and hands their submissions to a pluggable
+// aggregation Strategy, and a Federation driver that runs R rounds with a
+// bounded worker pool, records per-round accuracy/time/byte telemetry,
+// and applies an optional server learning rate (paper Fig. 5).
+package fl
+
+import (
+	"fedguard/internal/rng"
+)
+
+// Update is one client's per-round submission: classifier parameters in
+// the flat wire format, the sample count used for FedAvg weighting, and
+// (for FedGuard) the client's CVAE decoder payload.
+type Update struct {
+	ClientID   int
+	Weights    []float32
+	NumSamples int
+	// Decoder is the flat CVAE decoder parameter vector, or nil when the
+	// active strategy does not request decoders.
+	Decoder []float32
+	// DecoderClasses lists the class labels present in the data the
+	// client's CVAE was trained on (sorted ascending). The paper's §VI-B
+	// proposes sharing this so the server can condition each decoder only
+	// on classes it has actually seen — the mitigation for highly
+	// heterogeneous clients. nil means "assume all classes".
+	DecoderClasses []int
+}
+
+// RoundContext carries everything a Strategy may consult while
+// aggregating one round.
+type RoundContext struct {
+	// Round is the 1-based federated round index.
+	Round int
+	// Global is the current global parameter vector (read-only).
+	Global []float32
+	// Updates are the submissions of this round's sampled clients.
+	Updates []Update
+	// RNG is the server-side randomness for this round (used e.g. for
+	// FedGuard's latent and label sampling).
+	RNG *rng.RNG
+	// Report lets strategies expose per-round diagnostics (e.g. how many
+	// updates were excluded); the Federation copies it into History.
+	Report map[string]float64
+}
+
+// Sampler chooses which clients participate in a round. The default is
+// uniform sampling without replacement (Alg. 1 line 17); the paper's
+// conclusion suggests biasing selection toward high-quality candidates,
+// implemented by defense.QualitySampler.
+type Sampler interface {
+	// SampleClients returns m distinct client IDs from [0, n) for the
+	// given round, drawing randomness from r only.
+	SampleClients(round, n, m int, r *rng.RNG) []int
+}
+
+// UniformSampler is the default sampler: m clients uniformly without
+// replacement.
+type UniformSampler struct{}
+
+// SampleClients implements Sampler.
+func (UniformSampler) SampleClients(round, n, m int, r *rng.RNG) []int {
+	return r.Sample(n, m)
+}
+
+// Strategy turns a round's submissions into the next global parameter
+// vector. Implementations: FedAvg, GeoMed, Krum, Spectral (package
+// aggregate / defense) and FedGuard (package defense).
+type Strategy interface {
+	// Name identifies the strategy in reports.
+	Name() string
+	// Aggregate returns the aggregated parameter vector. It must not
+	// modify ctx.Updates or ctx.Global.
+	Aggregate(ctx *RoundContext) ([]float32, error)
+	// NeedsDecoders reports whether clients must attach CVAE decoder
+	// payloads to their updates (true only for FedGuard).
+	NeedsDecoders() bool
+}

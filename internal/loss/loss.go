@@ -1,0 +1,153 @@
+// Package loss implements the objective functions used in the FedGuard
+// reproduction: fused softmax cross-entropy for the classifier, binary
+// cross-entropy and the Gaussian KL divergence for the CVAE's ELBO
+// (Eqn. 5–6 of the paper), and MSE for the Spectral defense's
+// autoencoder reconstruction errors.
+//
+// Every function returns the scalar loss averaged over the batch together
+// with (or by filling) the gradient w.r.t. its input, so callers drive
+// backpropagation explicitly.
+package loss
+
+import (
+	"fmt"
+	"math"
+
+	"fedguard/internal/nn"
+	"fedguard/internal/tensor"
+)
+
+// SoftmaxCrossEntropy computes the mean cross-entropy of logits (B, C)
+// against integer labels, returning the loss and the gradient w.r.t. the
+// logits (already including the softmax Jacobian: grad = (p - onehot)/B).
+func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	b, c := logits.Dim(0), logits.Dim(1)
+	if len(labels) != b {
+		panic(fmt.Sprintf("loss: %d labels for batch of %d", len(labels), b))
+	}
+	grad := tensor.New(b, c)
+	probs := make([]float32, c)
+	var total float64
+	for i := 0; i < b; i++ {
+		row := logits.Data[i*c : (i+1)*c]
+		nn.SoftmaxRow(probs, row)
+		y := labels[i]
+		if y < 0 || y >= c {
+			panic(fmt.Sprintf("loss: label %d out of range [0,%d)", y, c))
+		}
+		p := float64(probs[y])
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		total -= math.Log(p)
+		g := grad.Data[i*c : (i+1)*c]
+		for j := range g {
+			g[j] = probs[j]
+		}
+		g[y] -= 1
+	}
+	invB := float32(1 / float64(b))
+	for i := range grad.Data {
+		grad.Data[i] *= invB
+	}
+	return total / float64(b), grad
+}
+
+// BinaryCrossEntropy computes the mean (over batch rows) of the summed
+// element-wise BCE between predictions p in (0,1) and targets t in [0,1]:
+//
+//	-Σ [t·log p + (1-t)·log(1-p)]
+//
+// It returns the loss and the gradient w.r.t. p. This is the CVAE
+// reconstruction term for pixel data.
+func BinaryCrossEntropy(pred, target *tensor.Tensor) (float64, *tensor.Tensor) {
+	if !pred.SameShape(target) {
+		panic(fmt.Sprintf("loss: BCE shape mismatch %v vs %v", pred.Shape(), target.Shape()))
+	}
+	b := pred.Dim(0)
+	grad := tensor.New(pred.Shape()...)
+	const eps = 1e-7
+	var total float64
+	invB := float32(1 / float64(b))
+	for i, p := range pred.Data {
+		t := target.Data[i]
+		pc := float64(p)
+		if pc < eps {
+			pc = eps
+		} else if pc > 1-eps {
+			pc = 1 - eps
+		}
+		total -= float64(t)*math.Log(pc) + float64(1-t)*math.Log(1-pc)
+		grad.Data[i] = float32((pc-float64(t))/(pc*(1-pc))) * invB
+	}
+	return total / float64(b), grad
+}
+
+// MSE computes the mean (over batch rows) of the summed squared error and
+// the gradient w.r.t. pred: grad = 2(pred-target)/B.
+func MSE(pred, target *tensor.Tensor) (float64, *tensor.Tensor) {
+	if !pred.SameShape(target) {
+		panic(fmt.Sprintf("loss: MSE shape mismatch %v vs %v", pred.Shape(), target.Shape()))
+	}
+	b := pred.Dim(0)
+	grad := tensor.New(pred.Shape()...)
+	var total float64
+	invB := float32(1 / float64(b))
+	for i, p := range pred.Data {
+		d := float64(p) - float64(target.Data[i])
+		total += d * d
+		grad.Data[i] = float32(2*d) * invB
+	}
+	return total / float64(b), grad
+}
+
+// GaussianKL computes the KL divergence between the diagonal Gaussian
+// N(mu, exp(logvar)) and the standard normal prior, summed over latent
+// dimensions and averaged over the batch:
+//
+//	KL = -1/2 Σ (1 + logvar - mu² - exp(logvar))
+//
+// It returns the loss and the gradients w.r.t. mu and logvar (already
+// scaled by 1/B). This is the CVAE regularization term.
+func GaussianKL(mu, logvar *tensor.Tensor) (float64, *tensor.Tensor, *tensor.Tensor) {
+	if !mu.SameShape(logvar) {
+		panic(fmt.Sprintf("loss: GaussianKL shape mismatch %v vs %v", mu.Shape(), logvar.Shape()))
+	}
+	b := mu.Dim(0)
+	dMu := tensor.New(mu.Shape()...)
+	dLogvar := tensor.New(logvar.Shape()...)
+	var total float64
+	invB := float32(1 / float64(b))
+	for i := range mu.Data {
+		m := float64(mu.Data[i])
+		lv := float64(logvar.Data[i])
+		ev := math.Exp(lv)
+		total += -0.5 * (1 + lv - m*m - ev)
+		dMu.Data[i] = float32(m) * invB
+		dLogvar.Data[i] = float32(-0.5*(1-ev)) * invB
+	}
+	return total / float64(b), dMu, dLogvar
+}
+
+// Accuracy returns the fraction of rows of logits (B, C) whose argmax
+// equals the label.
+func Accuracy(logits *tensor.Tensor, labels []int) float64 {
+	b, c := logits.Dim(0), logits.Dim(1)
+	if len(labels) != b {
+		panic(fmt.Sprintf("loss: %d labels for batch of %d", len(labels), b))
+	}
+	correct := 0
+	for i := 0; i < b; i++ {
+		row := logits.Data[i*c : (i+1)*c]
+		best := 0
+		for j := 1; j < c; j++ {
+			if row[j] > row[best] {
+				best = j
+			}
+		}
+		if best == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(b)
+}

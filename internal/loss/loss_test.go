@@ -1,0 +1,199 @@
+package loss
+
+import (
+	"math"
+	"testing"
+
+	"fedguard/internal/rng"
+	"fedguard/internal/tensor"
+)
+
+func TestSoftmaxCrossEntropyKnown(t *testing.T) {
+	// Uniform logits over 4 classes -> loss = ln 4.
+	logits := tensor.New(2, 4)
+	l, grad := SoftmaxCrossEntropy(logits, []int{0, 3})
+	if math.Abs(l-math.Log(4)) > 1e-6 {
+		t.Fatalf("loss = %v, want ln4 = %v", l, math.Log(4))
+	}
+	// grad = (p - onehot)/B: p = 0.25 everywhere.
+	if math.Abs(float64(grad.At(0, 0))-(0.25-1)/2) > 1e-6 {
+		t.Fatalf("grad[0][0] = %v", grad.At(0, 0))
+	}
+	if math.Abs(float64(grad.At(0, 1))-0.25/2) > 1e-6 {
+		t.Fatalf("grad[0][1] = %v", grad.At(0, 1))
+	}
+}
+
+func TestSoftmaxCrossEntropyGradNumeric(t *testing.T) {
+	r := rng.New(1)
+	logits := tensor.New(3, 5)
+	r.FillNormal(logits.Data, 0, 1)
+	labels := []int{1, 4, 0}
+	_, grad := SoftmaxCrossEntropy(logits, labels)
+	const eps = 1e-2
+	for i := 0; i < logits.Len(); i++ {
+		orig := logits.Data[i]
+		logits.Data[i] = orig + eps
+		lp, _ := SoftmaxCrossEntropy(logits, labels)
+		logits.Data[i] = orig - eps
+		lm, _ := SoftmaxCrossEntropy(logits, labels)
+		logits.Data[i] = orig
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-float64(grad.Data[i])) > 1e-3 {
+			t.Fatalf("CE grad[%d]: analytic %v, numeric %v", i, grad.Data[i], num)
+		}
+	}
+}
+
+func TestSoftmaxCrossEntropyDecreasesWithCorrectLogit(t *testing.T) {
+	logits := tensor.New(1, 3)
+	l0, _ := SoftmaxCrossEntropy(logits, []int{2})
+	logits.Set(5, 0, 2)
+	l1, _ := SoftmaxCrossEntropy(logits, []int{2})
+	if l1 >= l0 {
+		t.Fatalf("raising the true-class logit did not reduce loss: %v -> %v", l0, l1)
+	}
+}
+
+func TestBCEKnown(t *testing.T) {
+	pred := tensor.FromSlice([]float32{0.5, 0.5}, 1, 2)
+	target := tensor.FromSlice([]float32{1, 0}, 1, 2)
+	l, _ := BinaryCrossEntropy(pred, target)
+	if math.Abs(l-2*math.Log(2)) > 1e-5 {
+		t.Fatalf("BCE = %v, want 2 ln2 = %v", l, 2*math.Log(2))
+	}
+}
+
+func TestBCEGradNumeric(t *testing.T) {
+	r := rng.New(2)
+	pred := tensor.New(2, 6)
+	target := tensor.New(2, 6)
+	for i := range pred.Data {
+		pred.Data[i] = 0.2 + 0.6*r.Float32()
+		target.Data[i] = r.Float32()
+	}
+	_, grad := BinaryCrossEntropy(pred, target)
+	const eps = 1e-3
+	for i := 0; i < pred.Len(); i++ {
+		orig := pred.Data[i]
+		pred.Data[i] = orig + eps
+		lp, _ := BinaryCrossEntropy(pred, target)
+		pred.Data[i] = orig - eps
+		lm, _ := BinaryCrossEntropy(pred, target)
+		pred.Data[i] = orig
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-float64(grad.Data[i])) > 1e-2*(1+math.Abs(num)) {
+			t.Fatalf("BCE grad[%d]: analytic %v, numeric %v", i, grad.Data[i], num)
+		}
+	}
+}
+
+func TestBCEClampsExtremes(t *testing.T) {
+	pred := tensor.FromSlice([]float32{0, 1}, 1, 2)
+	target := tensor.FromSlice([]float32{1, 0}, 1, 2)
+	l, grad := BinaryCrossEntropy(pred, target)
+	if math.IsInf(l, 0) || math.IsNaN(l) {
+		t.Fatalf("BCE at extremes = %v", l)
+	}
+	for _, g := range grad.Data {
+		if math.IsInf(float64(g), 0) || math.IsNaN(float64(g)) {
+			t.Fatalf("BCE grad at extremes = %v", grad.Data)
+		}
+	}
+}
+
+func TestMSEKnown(t *testing.T) {
+	pred := tensor.FromSlice([]float32{1, 2}, 1, 2)
+	target := tensor.FromSlice([]float32{0, 0}, 1, 2)
+	l, grad := MSE(pred, target)
+	if math.Abs(l-5) > 1e-6 {
+		t.Fatalf("MSE = %v, want 5", l)
+	}
+	if grad.Data[0] != 2 || grad.Data[1] != 4 {
+		t.Fatalf("MSE grad = %v", grad.Data)
+	}
+}
+
+func TestGaussianKLZeroAtPrior(t *testing.T) {
+	mu := tensor.New(3, 4)
+	logvar := tensor.New(3, 4) // logvar 0 -> var 1
+	l, dMu, dLogvar := GaussianKL(mu, logvar)
+	if l != 0 {
+		t.Fatalf("KL(N(0,1)||N(0,1)) = %v, want 0", l)
+	}
+	for i := range dMu.Data {
+		if dMu.Data[i] != 0 || dLogvar.Data[i] != 0 {
+			t.Fatal("KL gradient at the prior must vanish")
+		}
+	}
+}
+
+func TestGaussianKLPositive(t *testing.T) {
+	r := rng.New(3)
+	mu := tensor.New(5, 8)
+	logvar := tensor.New(5, 8)
+	r.FillNormal(mu.Data, 0, 2)
+	r.FillNormal(logvar.Data, 0, 1)
+	l, _, _ := GaussianKL(mu, logvar)
+	if l <= 0 {
+		t.Fatalf("KL of a non-prior Gaussian = %v, want > 0", l)
+	}
+}
+
+func TestGaussianKLGradNumeric(t *testing.T) {
+	r := rng.New(4)
+	mu := tensor.New(2, 5)
+	logvar := tensor.New(2, 5)
+	r.FillNormal(mu.Data, 0, 1)
+	r.FillNormal(logvar.Data, 0, 0.5)
+	_, dMu, dLogvar := GaussianKL(mu, logvar)
+	const eps = 1e-3
+	for i := 0; i < mu.Len(); i++ {
+		orig := mu.Data[i]
+		mu.Data[i] = orig + eps
+		lp, _, _ := GaussianKL(mu, logvar)
+		mu.Data[i] = orig - eps
+		lm, _, _ := GaussianKL(mu, logvar)
+		mu.Data[i] = orig
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-float64(dMu.Data[i])) > 1e-3*(1+math.Abs(num)) {
+			t.Fatalf("KL dMu[%d]: analytic %v, numeric %v", i, dMu.Data[i], num)
+		}
+
+		orig = logvar.Data[i]
+		logvar.Data[i] = orig + eps
+		lp, _, _ = GaussianKL(mu, logvar)
+		logvar.Data[i] = orig - eps
+		lm, _, _ = GaussianKL(mu, logvar)
+		logvar.Data[i] = orig
+		num = (lp - lm) / (2 * eps)
+		if math.Abs(num-float64(dLogvar.Data[i])) > 1e-3*(1+math.Abs(num)) {
+			t.Fatalf("KL dLogvar[%d]: analytic %v, numeric %v", i, dLogvar.Data[i], num)
+		}
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	logits := tensor.FromSlice([]float32{
+		1, 2, 0,
+		5, 1, 1,
+		0, 0, 3,
+	}, 3, 3)
+	acc := Accuracy(logits, []int{1, 0, 2})
+	if acc != 1 {
+		t.Fatalf("Accuracy = %v, want 1", acc)
+	}
+	acc = Accuracy(logits, []int{0, 0, 2})
+	if math.Abs(acc-2.0/3) > 1e-9 {
+		t.Fatalf("Accuracy = %v, want 2/3", acc)
+	}
+}
+
+func TestAccuracyPanicsOnLabelMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Accuracy with wrong label count did not panic")
+		}
+	}()
+	Accuracy(tensor.New(2, 3), []int{0})
+}

@@ -1,0 +1,144 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"fedguard/internal/classifier"
+	"fedguard/internal/dataset"
+	"fedguard/internal/rng"
+)
+
+func TestConfusionBasics(t *testing.T) {
+	c := NewConfusion(3)
+	c.Add(0, 0)
+	c.Add(0, 0)
+	c.Add(1, 2)
+	c.Add(2, 2)
+	if c.Total() != 4 {
+		t.Fatalf("Total = %d", c.Total())
+	}
+	if math.Abs(c.Accuracy()-0.75) > 1e-12 {
+		t.Fatalf("Accuracy = %v", c.Accuracy())
+	}
+	recall := c.Recall()
+	if recall[0] != 1 || recall[1] != 0 || recall[2] != 1 {
+		t.Fatalf("Recall = %v", recall)
+	}
+	a, p, n := c.MostConfused()
+	if a != 1 || p != 2 || n != 1 {
+		t.Fatalf("MostConfused = (%d,%d,%d)", a, p, n)
+	}
+}
+
+func TestConfusionEmpty(t *testing.T) {
+	c := NewConfusion(2)
+	if c.Accuracy() != 0 {
+		t.Fatal("empty accuracy should be 0")
+	}
+	r := c.Recall()
+	if r[0] != 0 || r[1] != 0 {
+		t.Fatal("empty recall should be 0 (not NaN)")
+	}
+	a, p, n := c.MostConfused()
+	if a != -1 || p != -1 || n != 0 {
+		t.Fatalf("MostConfused on empty = (%d,%d,%d)", a, p, n)
+	}
+}
+
+func TestConfusionAddPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range Add did not panic")
+		}
+	}()
+	NewConfusion(2).Add(0, 5)
+}
+
+func TestConfusionString(t *testing.T) {
+	c := NewConfusion(2)
+	c.Add(0, 1)
+	s := c.String()
+	if !strings.Contains(s, "recall") || !strings.Contains(s, "0.0%") {
+		t.Fatalf("String output unexpected:\n%s", s)
+	}
+}
+
+func TestEvaluateMatchesAccuracy(t *testing.T) {
+	r := rng.New(1)
+	train := dataset.Generate(300, dataset.DefaultGenOptions(), r)
+	test := dataset.Generate(150, dataset.DefaultGenOptions(), r)
+	m := classifier.Tiny()(r)
+	classifier.Train(m, train, dataset.Range(train.Len()),
+		classifier.TrainConfig{Epochs: 5, BatchSize: 32, LR: 0.1, Momentum: 0.9}, r)
+
+	idx := dataset.Range(test.Len())
+	c := Evaluate(m, test, idx)
+	if c.Total() != test.Len() {
+		t.Fatalf("confusion total %d, want %d", c.Total(), test.Len())
+	}
+	plain := classifier.Evaluate(m, test, idx)
+	if math.Abs(c.Accuracy()-plain) > 1e-9 {
+		t.Fatalf("confusion accuracy %v != classifier accuracy %v", c.Accuracy(), plain)
+	}
+}
+
+func TestEvaluateWeights(t *testing.T) {
+	r := rng.New(2)
+	test := dataset.Generate(50, dataset.DefaultGenOptions(), r)
+	m := classifier.Tiny()(r)
+	w := m.FlattenParams()
+	c, err := EvaluateWeights(classifier.Tiny(), w, test, dataset.Range(test.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Total() != 50 {
+		t.Fatalf("Total = %d", c.Total())
+	}
+	if _, err := EvaluateWeights(classifier.Tiny(), w[:10], test, dataset.Range(test.Len())); err == nil {
+		t.Fatal("short weight vector accepted")
+	}
+}
+
+// A model trained on label-flipped data must show its confusion
+// concentrated on the flipped pairs — the targeted-attack signature.
+func TestLabelFlipSignature(t *testing.T) {
+	r := rng.New(3)
+	train := dataset.Generate(600, dataset.DefaultGenOptions(), r)
+	test := dataset.Generate(400, dataset.DefaultGenOptions(), r)
+
+	// Flip 5<->7 in the training labels.
+	flipped := train.Clone()
+	for i, l := range flipped.Labels {
+		switch l {
+		case 5:
+			flipped.Labels[i] = 7
+		case 7:
+			flipped.Labels[i] = 5
+		}
+	}
+	m := classifier.Tiny()(r)
+	classifier.Train(m, flipped, dataset.Range(flipped.Len()),
+		classifier.TrainConfig{Epochs: 8, BatchSize: 32, LR: 0.1, Momentum: 0.9}, r)
+
+	c := Evaluate(m, test, dataset.Range(test.Len()))
+	recall := c.Recall()
+	// Non-flipped classes learn normally; flipped classes collapse.
+	var cleanAvg float64
+	for _, cls := range []int{0, 1, 3, 6, 8, 9} {
+		cleanAvg += recall[cls]
+	}
+	cleanAvg /= 6
+	if cleanAvg < 0.6 {
+		t.Fatalf("clean classes recall %v too low for the test to be meaningful", cleanAvg)
+	}
+	if recall[5] > 0.3 || recall[7] > 0.3 {
+		t.Fatalf("flipped classes should collapse: recall[5]=%v recall[7]=%v", recall[5], recall[7])
+	}
+	a, p, _ := c.MostConfused()
+	pair := map[[2]int]bool{{5, 7}: true, {7, 5}: true}
+	if !pair[[2]int{a, p}] {
+		t.Fatalf("dominant confusion (%d->%d), want within the flipped pair", a, p)
+	}
+}

@@ -1,0 +1,237 @@
+package nn
+
+import (
+	"math"
+
+	"fedguard/internal/rng"
+	"fedguard/internal/tensor"
+)
+
+// ReLU is the rectified linear activation, y = max(0, x).
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU constructs a ReLU activation.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward applies max(0, x) element-wise.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := tensor.New(x.Shape()...)
+	r.mask = make([]bool, x.Len())
+	for i, v := range x.Data {
+		if v > 0 {
+			y.Data[i] = v
+			r.mask[i] = true
+		}
+	}
+	return y
+}
+
+// Backward zeroes gradients where the forward input was non-positive.
+func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(grad.Shape()...)
+	for i, g := range grad.Data {
+		if r.mask[i] {
+			dx.Data[i] = g
+		}
+	}
+	return dx
+}
+
+// Params returns nil.
+func (r *ReLU) Params() []Param { return nil }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return "ReLU" }
+
+// Sigmoid is the logistic activation, y = 1/(1+e^-x). The paper's CVAE
+// decoder ends in a sigmoid so outputs are valid pixel intensities.
+type Sigmoid struct {
+	y *tensor.Tensor
+}
+
+// NewSigmoid constructs a sigmoid activation.
+func NewSigmoid() *Sigmoid { return &Sigmoid{} }
+
+// Forward applies the logistic function element-wise.
+func (s *Sigmoid) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := tensor.New(x.Shape()...)
+	for i, v := range x.Data {
+		y.Data[i] = float32(1 / (1 + math.Exp(-float64(v))))
+	}
+	s.y = y
+	return y
+}
+
+// Backward uses dy/dx = y(1-y).
+func (s *Sigmoid) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(grad.Shape()...)
+	for i, g := range grad.Data {
+		y := s.y.Data[i]
+		dx.Data[i] = g * y * (1 - y)
+	}
+	return dx
+}
+
+// Params returns nil.
+func (s *Sigmoid) Params() []Param { return nil }
+
+// Name implements Layer.
+func (s *Sigmoid) Name() string { return "Sigmoid" }
+
+// Tanh is the hyperbolic tangent activation.
+type Tanh struct {
+	y *tensor.Tensor
+}
+
+// NewTanh constructs a tanh activation.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// Forward applies tanh element-wise.
+func (t *Tanh) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := tensor.New(x.Shape()...)
+	for i, v := range x.Data {
+		y.Data[i] = float32(math.Tanh(float64(v)))
+	}
+	t.y = y
+	return y
+}
+
+// Backward uses dy/dx = 1 - y².
+func (t *Tanh) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(grad.Shape()...)
+	for i, g := range grad.Data {
+		y := t.y.Data[i]
+		dx.Data[i] = g * (1 - y*y)
+	}
+	return dx
+}
+
+// Params returns nil.
+func (t *Tanh) Params() []Param { return nil }
+
+// Name implements Layer.
+func (t *Tanh) Name() string { return "Tanh" }
+
+// Softmax normalizes each row of a (B, classes) tensor into a probability
+// distribution. Training uses the fused softmax-cross-entropy in package
+// loss; this layer exists for inference-time probability output and for
+// architectures that genuinely need an in-network softmax.
+type Softmax struct {
+	y *tensor.Tensor
+}
+
+// NewSoftmax constructs a softmax layer.
+func NewSoftmax() *Softmax { return &Softmax{} }
+
+// Forward computes a numerically stable row-wise softmax.
+func (s *Softmax) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	b, n := x.Dim(0), x.Dim(1)
+	y := tensor.New(b, n)
+	for i := 0; i < b; i++ {
+		SoftmaxRow(y.Data[i*n:(i+1)*n], x.Data[i*n:(i+1)*n])
+	}
+	s.y = y
+	return y
+}
+
+// SoftmaxRow writes softmax(src) into dst with max-subtraction for
+// stability. dst and src must have equal length.
+func SoftmaxRow(dst, src []float32) {
+	maxV := src[0]
+	for _, v := range src[1:] {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var sum float64
+	for i, v := range src {
+		e := math.Exp(float64(v - maxV))
+		dst[i] = float32(e)
+		sum += e
+	}
+	inv := float32(1 / sum)
+	for i := range dst {
+		dst[i] *= inv
+	}
+}
+
+// Backward applies the softmax Jacobian: dx = y ⊙ (g - <g, y>) row-wise.
+func (s *Softmax) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	b, n := grad.Dim(0), grad.Dim(1)
+	dx := tensor.New(b, n)
+	for i := 0; i < b; i++ {
+		g := grad.Data[i*n : (i+1)*n]
+		y := s.y.Data[i*n : (i+1)*n]
+		var dot float64
+		for j := range g {
+			dot += float64(g[j]) * float64(y[j])
+		}
+		for j := range g {
+			dx.Data[i*n+j] = y[j] * (g[j] - float32(dot))
+		}
+	}
+	return dx
+}
+
+// Params returns nil.
+func (s *Softmax) Params() []Param { return nil }
+
+// Name implements Layer.
+func (s *Softmax) Name() string { return "Softmax" }
+
+// Dropout randomly zeroes a fraction p of activations during training and
+// rescales survivors by 1/(1-p) (inverted dropout). At inference it is
+// the identity.
+type Dropout struct {
+	P   float64
+	rng *rng.RNG
+
+	mask []float32
+}
+
+// NewDropout constructs a dropout layer with drop probability p using
+// randomness from r.
+func NewDropout(p float64, r *rng.RNG) *Dropout {
+	if p < 0 || p >= 1 {
+		panic("nn: Dropout probability must be in [0,1)")
+	}
+	return &Dropout{P: p, rng: r}
+}
+
+// Forward applies the dropout mask in training mode.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || d.P == 0 {
+		d.mask = nil
+		return x
+	}
+	y := tensor.New(x.Shape()...)
+	d.mask = make([]float32, x.Len())
+	scale := float32(1 / (1 - d.P))
+	for i, v := range x.Data {
+		if d.rng.Float64() >= d.P {
+			d.mask[i] = scale
+			y.Data[i] = v * scale
+		}
+	}
+	return y
+}
+
+// Backward applies the same mask to the gradient.
+func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if d.mask == nil {
+		return grad
+	}
+	dx := tensor.New(grad.Shape()...)
+	for i, g := range grad.Data {
+		dx.Data[i] = g * d.mask[i]
+	}
+	return dx
+}
+
+// Params returns nil.
+func (d *Dropout) Params() []Param { return nil }
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return "Dropout" }

@@ -1,0 +1,133 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"fedguard/internal/rng"
+	"fedguard/internal/tensor"
+)
+
+// Conv2D is a stride-1, no-padding 2-D convolution (the configuration
+// used by the paper's MNIST classifier, Table II). Filters have shape
+// (outC, inC*kh*kw); inputs have shape (B, inC, H, W).
+//
+// The forward pass lowers each image to an im2col matrix and multiplies
+// by the filter matrix; the backward pass uses the matching col2im
+// scatter.
+type Conv2D struct {
+	InC, OutC, KH, KW int
+	W                 *tensor.Tensor // (outC, inC*kh*kw)
+	B                 *tensor.Tensor // (outC)
+	dW, dB            *tensor.Tensor
+
+	x    *tensor.Tensor   // retained input
+	cols []*tensor.Tensor // retained im2col matrices, one per batch item
+}
+
+// NewConv2D constructs a convolution layer with He-uniform weight
+// initialization drawn from r.
+func NewConv2D(inC, outC, kh, kw int, r *rng.RNG) *Conv2D {
+	fanIn := inC * kh * kw
+	c := &Conv2D{
+		InC: inC, OutC: outC, KH: kh, KW: kw,
+		W:  tensor.New(outC, fanIn),
+		B:  tensor.New(outC),
+		dW: tensor.New(outC, fanIn),
+		dB: tensor.New(outC),
+	}
+	bound := math.Sqrt(6.0 / float64(fanIn))
+	r.FillUniform(c.W.Data, -bound, bound)
+	return c
+}
+
+func (c *Conv2D) outDims(h, w int) (int, int) { return h - c.KH + 1, w - c.KW + 1 }
+
+// Forward computes the convolution of a (B, inC, H, W) batch, producing
+// (B, outC, outH, outW).
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 4 || x.Dim(1) != c.InC {
+		panic(fmt.Sprintf("nn: %s got input shape %v", c.Name(), x.Shape()))
+	}
+	b, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	outH, outW := c.outDims(h, w)
+	if outH <= 0 || outW <= 0 {
+		panic(fmt.Sprintf("nn: %s kernel larger than input (%d,%d)", c.Name(), h, w))
+	}
+	c.x = x
+	c.cols = make([]*tensor.Tensor, b)
+	fanIn := c.InC * c.KH * c.KW
+	y := tensor.New(b, c.OutC, outH, outW)
+	imgVol := c.InC * h * w
+	outVol := c.OutC * outH * outW
+	for i := 0; i < b; i++ {
+		img := tensor.FromSlice(x.Data[i*imgVol:(i+1)*imgVol], c.InC, h, w)
+		cols := tensor.New(outH*outW, fanIn)
+		tensor.Im2Col(cols, img, c.KH, c.KW)
+		c.cols[i] = cols
+		// out (outC, outH*outW) = W (outC, fanIn) @ colsᵀ — computed as
+		// cols @ Wᵀ giving (outH*outW, outC), then transposed into place.
+		prod := tensor.New(outH*outW, c.OutC)
+		tensor.MatMulT(prod, cols, c.W)
+		dst := y.Data[i*outVol : (i+1)*outVol]
+		for p := 0; p < outH*outW; p++ {
+			row := prod.Data[p*c.OutC : (p+1)*c.OutC]
+			for ch, v := range row {
+				dst[ch*outH*outW+p] = v + c.B.Data[ch]
+			}
+		}
+	}
+	return y
+}
+
+// Backward accumulates filter/bias gradients and returns the gradient
+// w.r.t. the input batch.
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	b := grad.Dim(0)
+	h, w := c.x.Dim(2), c.x.Dim(3)
+	outH, outW := c.outDims(h, w)
+	if grad.Dim(1) != c.OutC || grad.Dim(2) != outH || grad.Dim(3) != outW {
+		panic(fmt.Sprintf("nn: %s got gradient shape %v", c.Name(), grad.Shape()))
+	}
+	fanIn := c.InC * c.KH * c.KW
+	imgVol := c.InC * h * w
+	outVol := c.OutC * outH * outW
+	dx := tensor.New(b, c.InC, h, w)
+	// Per-sample: gradMat (outH*outW, outC) from the channel-major grad.
+	for i := 0; i < b; i++ {
+		g := grad.Data[i*outVol : (i+1)*outVol]
+		gm := tensor.New(outH*outW, c.OutC)
+		for ch := 0; ch < c.OutC; ch++ {
+			col := g[ch*outH*outW : (ch+1)*outH*outW]
+			var chSum float32
+			for p, v := range col {
+				gm.Data[p*c.OutC+ch] = v
+				chSum += v
+			}
+			c.dB.Data[ch] += chSum
+		}
+		// dW += gmᵀ @ cols  -> (outC, fanIn)
+		dW := tensor.New(c.OutC, fanIn)
+		tensor.MatMulTA(dW, gm, c.cols[i])
+		tensor.AXPY(c.dW, 1, dW)
+		// dCols = gm @ W -> (outH*outW, fanIn), scattered back to image.
+		dCols := tensor.New(outH*outW, fanIn)
+		tensor.MatMul(dCols, gm, c.W)
+		dImg := tensor.FromSlice(dx.Data[i*imgVol:(i+1)*imgVol], c.InC, h, w)
+		tensor.Col2Im(dImg, dCols, c.KH, c.KW)
+	}
+	return dx
+}
+
+// Params returns the filter and bias with their gradients.
+func (c *Conv2D) Params() []Param {
+	return []Param{
+		{Name: "W", Value: c.W, Grad: c.dW},
+		{Name: "b", Value: c.B, Grad: c.dB},
+	}
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string {
+	return fmt.Sprintf("Conv2D(%d->%d, %dx%d)", c.InC, c.OutC, c.KH, c.KW)
+}

@@ -1,0 +1,86 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"fedguard/internal/rng"
+	"fedguard/internal/tensor"
+)
+
+// Linear is a fully connected layer: y = x @ Wᵀ + b, with W of shape
+// (out, in) and x of shape (B, in).
+type Linear struct {
+	In, Out int
+	W, B    *tensor.Tensor
+	dW, dB  *tensor.Tensor
+
+	x *tensor.Tensor // retained input for backward
+}
+
+// NewLinear constructs a fully connected layer with He-uniform
+// initialization drawn from r.
+func NewLinear(in, out int, r *rng.RNG) *Linear {
+	l := &Linear{
+		In:  in,
+		Out: out,
+		W:   tensor.New(out, in),
+		B:   tensor.New(out),
+		dW:  tensor.New(out, in),
+		dB:  tensor.New(out),
+	}
+	bound := math.Sqrt(6.0 / float64(in))
+	r.FillUniform(l.W.Data, -bound, bound)
+	return l
+}
+
+// Forward computes y = x @ Wᵀ + b for x of shape (B, in).
+func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 2 || x.Dim(1) != l.In {
+		panic(fmt.Sprintf("nn: Linear(%d->%d) got input shape %v", l.In, l.Out, x.Shape()))
+	}
+	l.x = x
+	b := x.Dim(0)
+	y := tensor.New(b, l.Out)
+	tensor.MatMulT(y, x, l.W)
+	for i := 0; i < b; i++ {
+		row := y.Data[i*l.Out : (i+1)*l.Out]
+		for j := range row {
+			row[j] += l.B.Data[j]
+		}
+	}
+	return y
+}
+
+// Backward accumulates dW += gradᵀ @ x and dB += colsum(grad), returning
+// dx = grad @ W.
+func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	b := grad.Dim(0)
+	if grad.Dim(1) != l.Out {
+		panic(fmt.Sprintf("nn: Linear(%d->%d) got gradient shape %v", l.In, l.Out, grad.Shape()))
+	}
+	// dW[j][k] += sum_i grad[i][j] * x[i][k]
+	dW := tensor.New(l.Out, l.In)
+	tensor.MatMulTA(dW, grad, l.x)
+	tensor.AXPY(l.dW, 1, dW)
+	for i := 0; i < b; i++ {
+		row := grad.Data[i*l.Out : (i+1)*l.Out]
+		for j, g := range row {
+			l.dB.Data[j] += g
+		}
+	}
+	dx := tensor.New(b, l.In)
+	tensor.MatMul(dx, grad, l.W)
+	return dx
+}
+
+// Params returns the weight and bias with their gradients.
+func (l *Linear) Params() []Param {
+	return []Param{
+		{Name: "W", Value: l.W, Grad: l.dW},
+		{Name: "b", Value: l.B, Grad: l.dB},
+	}
+}
+
+// Name implements Layer.
+func (l *Linear) Name() string { return fmt.Sprintf("Linear(%d->%d)", l.In, l.Out) }

@@ -1,0 +1,131 @@
+// Package nn implements the neural-network substrate for the FedGuard
+// reproduction: composable layers with explicit forward/backward passes,
+// a Sequential container, and flat parameter (de)serialization — the
+// "wire format" that federated clients ship to the server and that
+// attacks manipulate.
+//
+// All layers operate on batched tensors: (B, features) for dense layers
+// and (B, C, H, W) for spatial layers. Layers retain whatever forward
+// activations their backward pass needs, so a single layer instance must
+// not be shared between concurrent training loops; federated clients each
+// build their own model from a shared architecture function.
+package nn
+
+import (
+	"fmt"
+
+	"fedguard/internal/tensor"
+)
+
+// Param is one learnable tensor together with its gradient accumulator.
+type Param struct {
+	Name  string
+	Value *tensor.Tensor
+	Grad  *tensor.Tensor
+}
+
+// Layer is a differentiable network stage.
+type Layer interface {
+	// Forward consumes a batched input and returns the batched output.
+	// train toggles training-only behaviour (e.g. dropout).
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward consumes the gradient w.r.t. the layer output, accumulates
+	// parameter gradients, and returns the gradient w.r.t. the input.
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	// Params returns the layer's learnable parameters (possibly empty).
+	Params() []Param
+	// Name identifies the layer for debugging and serialization.
+	Name() string
+}
+
+// Sequential chains layers, feeding each layer's output to the next.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential builds a container over the given layers.
+func NewSequential(layers ...Layer) *Sequential {
+	return &Sequential{Layers: layers}
+}
+
+// Forward runs the full stack.
+func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward runs the stack in reverse, returning the gradient w.r.t. the
+// original input.
+func (s *Sequential) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		grad = s.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params returns every learnable parameter in layer order.
+func (s *Sequential) Params() []Param {
+	var out []Param
+	for _, l := range s.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// Name implements Layer so Sequentials nest.
+func (s *Sequential) Name() string { return "Sequential" }
+
+// NumParams returns the total learnable scalar count.
+func (s *Sequential) NumParams() int {
+	n := 0
+	for _, p := range s.Params() {
+		n += p.Value.Len()
+	}
+	return n
+}
+
+// ZeroGrad clears all accumulated gradients.
+func (s *Sequential) ZeroGrad() {
+	for _, p := range s.Params() {
+		p.Grad.Zero()
+	}
+}
+
+// FlattenParams serializes all parameter values into one flat vector in
+// layer order — the representation exchanged in federated rounds.
+func (s *Sequential) FlattenParams() []float32 {
+	out := make([]float32, 0, s.NumParams())
+	for _, p := range s.Params() {
+		out = append(out, p.Value.Data...)
+	}
+	return out
+}
+
+// LoadParams copies a flat vector (as produced by FlattenParams on a
+// model of identical architecture) into the parameter tensors. It returns
+// an error if the length does not match.
+func (s *Sequential) LoadParams(flat []float32) error {
+	want := s.NumParams()
+	if len(flat) != want {
+		return fmt.Errorf("nn: LoadParams length %d, model has %d parameters", len(flat), want)
+	}
+	off := 0
+	for _, p := range s.Params() {
+		n := p.Value.Len()
+		copy(p.Value.Data, flat[off:off+n])
+		off += n
+	}
+	return nil
+}
+
+// FlattenGrads serializes all parameter gradients into one flat vector in
+// layer order (same layout as FlattenParams).
+func (s *Sequential) FlattenGrads() []float32 {
+	out := make([]float32, 0, s.NumParams())
+	for _, p := range s.Params() {
+		out = append(out, p.Grad.Data...)
+	}
+	return out
+}

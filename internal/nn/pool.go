@@ -1,0 +1,112 @@
+package nn
+
+import (
+	"fmt"
+
+	"fedguard/internal/tensor"
+)
+
+// MaxPool2D is a non-overlapping max pooling layer with a (PH, PW) window
+// and equal stride. Inputs of shape (B, C, H, W) produce
+// (B, C, H/PH, W/PW); trailing rows/columns that do not fill a window are
+// dropped (floor division), matching the paper's 2×2 pools.
+type MaxPool2D struct {
+	PH, PW int
+
+	inShape []int
+	argmax  []int // flat input index of each output element
+}
+
+// NewMaxPool2D constructs a pooling layer with the given window.
+func NewMaxPool2D(ph, pw int) *MaxPool2D {
+	if ph <= 0 || pw <= 0 {
+		panic("nn: MaxPool2D with non-positive window")
+	}
+	return &MaxPool2D{PH: ph, PW: pw}
+}
+
+// Forward computes the pooled output and records argmax indices for the
+// backward pass.
+func (m *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("nn: %s got input shape %v", m.Name(), x.Shape()))
+	}
+	b, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	outH, outW := h/m.PH, w/m.PW
+	if outH == 0 || outW == 0 {
+		panic(fmt.Sprintf("nn: %s window larger than input (%d,%d)", m.Name(), h, w))
+	}
+	m.inShape = []int{b, c, h, w}
+	y := tensor.New(b, c, outH, outW)
+	m.argmax = make([]int, y.Len())
+	for i := 0; i < b; i++ {
+		for ch := 0; ch < c; ch++ {
+			base := (i*c + ch) * h * w
+			outBase := (i*c + ch) * outH * outW
+			for oy := 0; oy < outH; oy++ {
+				for ox := 0; ox < outW; ox++ {
+					bestIdx := base + oy*m.PH*w + ox*m.PW
+					best := x.Data[bestIdx]
+					for ky := 0; ky < m.PH; ky++ {
+						rowIdx := base + (oy*m.PH+ky)*w + ox*m.PW
+						for kx := 0; kx < m.PW; kx++ {
+							if v := x.Data[rowIdx+kx]; v > best {
+								best = v
+								bestIdx = rowIdx + kx
+							}
+						}
+					}
+					out := outBase + oy*outW + ox
+					y.Data[out] = best
+					m.argmax[out] = bestIdx
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Backward routes each output gradient to the input position that won the
+// max.
+func (m *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if grad.Len() != len(m.argmax) {
+		panic(fmt.Sprintf("nn: %s gradient length %d, want %d", m.Name(), grad.Len(), len(m.argmax)))
+	}
+	dx := tensor.New(m.inShape...)
+	for i, g := range grad.Data {
+		dx.Data[m.argmax[i]] += g
+	}
+	return dx
+}
+
+// Params returns nil: pooling has no learnable parameters.
+func (m *MaxPool2D) Params() []Param { return nil }
+
+// Name implements Layer.
+func (m *MaxPool2D) Name() string { return fmt.Sprintf("MaxPool2D(%dx%d)", m.PH, m.PW) }
+
+// Flatten reshapes (B, ...) to (B, rest) for the transition from spatial
+// to dense layers.
+type Flatten struct {
+	inShape []int
+}
+
+// NewFlatten constructs a flatten layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Forward flattens all non-batch dimensions.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	f.inShape = append([]int(nil), x.Shape()...)
+	return x.Reshape(x.Dim(0), -1)
+}
+
+// Backward restores the original spatial shape.
+func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return grad.Reshape(f.inShape...)
+}
+
+// Params returns nil.
+func (f *Flatten) Params() []Param { return nil }
+
+// Name implements Layer.
+func (f *Flatten) Name() string { return "Flatten" }

@@ -1,0 +1,150 @@
+// Package opt implements the first-order optimizers used to train the
+// federated classifier and the CVAE: plain SGD, SGD with momentum, and
+// Adam, plus global-norm gradient clipping.
+//
+// An Optimizer binds to a parameter set once and then advances it each
+// Step using the gradients accumulated by the layers' backward passes.
+package opt
+
+import (
+	"math"
+
+	"fedguard/internal/nn"
+	"fedguard/internal/tensor"
+)
+
+// Optimizer advances model parameters using their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update and leaves gradients untouched (callers zero
+	// them via the model's ZeroGrad).
+	Step()
+	// SetLR changes the learning rate for subsequent steps.
+	SetLR(lr float64)
+	// LR returns the current learning rate.
+	LR() float64
+}
+
+// SGD is stochastic gradient descent, optionally with classical momentum
+// and L2 weight decay.
+type SGD struct {
+	params   []nn.Param
+	lr       float64
+	momentum float64
+	decay    float64
+	velocity []*tensor.Tensor
+}
+
+// NewSGD builds an SGD optimizer over params. momentum 0 disables the
+// velocity buffers; decay 0 disables weight decay.
+func NewSGD(params []nn.Param, lr, momentum, decay float64) *SGD {
+	s := &SGD{params: params, lr: lr, momentum: momentum, decay: decay}
+	if momentum != 0 {
+		s.velocity = make([]*tensor.Tensor, len(params))
+		for i, p := range params {
+			s.velocity[i] = tensor.New(p.Value.Shape()...)
+		}
+	}
+	return s
+}
+
+// Step applies one SGD update.
+func (s *SGD) Step() {
+	lr := float32(s.lr)
+	wd := float32(s.decay)
+	for i, p := range s.params {
+		g := p.Grad.Data
+		v := p.Value.Data
+		if s.velocity != nil {
+			vel := s.velocity[i].Data
+			mom := float32(s.momentum)
+			for j := range v {
+				grad := g[j] + wd*v[j]
+				vel[j] = mom*vel[j] + grad
+				v[j] -= lr * vel[j]
+			}
+		} else {
+			for j := range v {
+				v[j] -= lr * (g[j] + wd*v[j])
+			}
+		}
+	}
+}
+
+// SetLR implements Optimizer.
+func (s *SGD) SetLR(lr float64) { s.lr = lr }
+
+// LR implements Optimizer.
+func (s *SGD) LR() float64 { return s.lr }
+
+// Adam is the Adam optimizer (Kingma & Ba, 2015) with bias correction.
+type Adam struct {
+	params []nn.Param
+	lr     float64
+	beta1  float64
+	beta2  float64
+	eps    float64
+	step   int
+	m, v   []*tensor.Tensor
+}
+
+// NewAdam builds an Adam optimizer with the standard defaults
+// beta1=0.9, beta2=0.999, eps=1e-8.
+func NewAdam(params []nn.Param, lr float64) *Adam {
+	a := &Adam{params: params, lr: lr, beta1: 0.9, beta2: 0.999, eps: 1e-8}
+	a.m = make([]*tensor.Tensor, len(params))
+	a.v = make([]*tensor.Tensor, len(params))
+	for i, p := range params {
+		a.m[i] = tensor.New(p.Value.Shape()...)
+		a.v[i] = tensor.New(p.Value.Shape()...)
+	}
+	return a
+}
+
+// Step applies one Adam update.
+func (a *Adam) Step() {
+	a.step++
+	b1c := 1 - math.Pow(a.beta1, float64(a.step))
+	b2c := 1 - math.Pow(a.beta2, float64(a.step))
+	lr := a.lr * math.Sqrt(b2c) / b1c
+	b1 := float32(a.beta1)
+	b2 := float32(a.beta2)
+	for i, p := range a.params {
+		g := p.Grad.Data
+		val := p.Value.Data
+		m := a.m[i].Data
+		v := a.v[i].Data
+		for j := range val {
+			gj := g[j]
+			m[j] = b1*m[j] + (1-b1)*gj
+			v[j] = b2*v[j] + (1-b2)*gj*gj
+			val[j] -= float32(lr * float64(m[j]) / (math.Sqrt(float64(v[j])) + a.eps))
+		}
+	}
+}
+
+// SetLR implements Optimizer.
+func (a *Adam) SetLR(lr float64) { a.lr = lr }
+
+// LR implements Optimizer.
+func (a *Adam) LR() float64 { return a.lr }
+
+// ClipGradNorm scales all gradients down so their global L2 norm does not
+// exceed maxNorm. It returns the pre-clip norm.
+func ClipGradNorm(params []nn.Param, maxNorm float64) float64 {
+	var sq float64
+	for _, p := range params {
+		for _, g := range p.Grad.Data {
+			sq += float64(g) * float64(g)
+		}
+	}
+	norm := math.Sqrt(sq)
+	if norm > maxNorm && norm > 0 {
+		scale := float32(maxNorm / norm)
+		for _, p := range params {
+			for j := range p.Grad.Data {
+				p.Grad.Data[j] *= scale
+			}
+		}
+	}
+	return norm
+}

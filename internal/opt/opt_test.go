@@ -1,0 +1,161 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"fedguard/internal/loss"
+	"fedguard/internal/nn"
+	"fedguard/internal/rng"
+	"fedguard/internal/tensor"
+)
+
+func TestSGDStep(t *testing.T) {
+	p := nn.Param{
+		Name:  "w",
+		Value: tensor.FromSlice([]float32{1, 2}, 2),
+		Grad:  tensor.FromSlice([]float32{0.5, -0.5}, 2),
+	}
+	s := NewSGD([]nn.Param{p}, 0.1, 0, 0)
+	s.Step()
+	if math.Abs(float64(p.Value.Data[0])-0.95) > 1e-6 || math.Abs(float64(p.Value.Data[1])-2.05) > 1e-6 {
+		t.Fatalf("SGD step gave %v", p.Value.Data)
+	}
+}
+
+func TestSGDWeightDecay(t *testing.T) {
+	p := nn.Param{
+		Name:  "w",
+		Value: tensor.FromSlice([]float32{1}, 1),
+		Grad:  tensor.FromSlice([]float32{0}, 1),
+	}
+	s := NewSGD([]nn.Param{p}, 0.1, 0, 0.5)
+	s.Step()
+	// w -= lr * decay * w = 1 - 0.05
+	if math.Abs(float64(p.Value.Data[0])-0.95) > 1e-6 {
+		t.Fatalf("weight decay gave %v", p.Value.Data[0])
+	}
+}
+
+func TestSGDMomentumAccumulates(t *testing.T) {
+	p := nn.Param{
+		Name:  "w",
+		Value: tensor.FromSlice([]float32{0}, 1),
+		Grad:  tensor.FromSlice([]float32{1}, 1),
+	}
+	s := NewSGD([]nn.Param{p}, 1, 0.9, 0)
+	s.Step() // v=1, w=-1
+	s.Step() // v=1.9, w=-2.9
+	if math.Abs(float64(p.Value.Data[0])+2.9) > 1e-6 {
+		t.Fatalf("momentum gave %v, want -2.9", p.Value.Data[0])
+	}
+}
+
+func TestAdamFirstStepIsLR(t *testing.T) {
+	// With bias correction, the first Adam step is ~lr * sign(grad).
+	p := nn.Param{
+		Name:  "w",
+		Value: tensor.FromSlice([]float32{0}, 1),
+		Grad:  tensor.FromSlice([]float32{0.3}, 1),
+	}
+	a := NewAdam([]nn.Param{p}, 0.01)
+	a.Step()
+	if math.Abs(float64(p.Value.Data[0])+0.01) > 1e-4 {
+		t.Fatalf("first Adam step gave %v, want ~-0.01", p.Value.Data[0])
+	}
+}
+
+func TestClipGradNorm(t *testing.T) {
+	p := nn.Param{
+		Name:  "w",
+		Value: tensor.New(2),
+		Grad:  tensor.FromSlice([]float32{3, 4}, 2),
+	}
+	norm := ClipGradNorm([]nn.Param{p}, 1)
+	if math.Abs(norm-5) > 1e-6 {
+		t.Fatalf("pre-clip norm = %v, want 5", norm)
+	}
+	after := math.Hypot(float64(p.Grad.Data[0]), float64(p.Grad.Data[1]))
+	if math.Abs(after-1) > 1e-5 {
+		t.Fatalf("post-clip norm = %v, want 1", after)
+	}
+	// Below threshold: untouched.
+	ClipGradNorm([]nn.Param{p}, 10)
+	after2 := math.Hypot(float64(p.Grad.Data[0]), float64(p.Grad.Data[1]))
+	if math.Abs(after2-1) > 1e-5 {
+		t.Fatal("clip modified a gradient under the threshold")
+	}
+}
+
+// Training an XOR-ish toy problem end-to-end proves the substrate learns.
+func TestTrainingConverges(t *testing.T) {
+	r := rng.New(42)
+	model := nn.NewSequential(
+		nn.NewLinear(2, 16, r),
+		nn.NewReLU(),
+		nn.NewLinear(16, 2, r),
+	)
+	x := tensor.FromSlice([]float32{
+		0, 0,
+		0, 1,
+		1, 0,
+		1, 1,
+	}, 4, 2)
+	labels := []int{0, 1, 1, 0}
+	optim := NewAdam(model.Params(), 0.05)
+	var final float64
+	for epoch := 0; epoch < 300; epoch++ {
+		model.ZeroGrad()
+		logits := model.Forward(x, true)
+		l, grad := loss.SoftmaxCrossEntropy(logits, labels)
+		model.Backward(grad)
+		optim.Step()
+		final = l
+	}
+	if final > 0.1 {
+		t.Fatalf("XOR did not converge: final loss %v", final)
+	}
+	logits := model.Forward(x, false)
+	if acc := loss.Accuracy(logits, labels); acc != 1 {
+		t.Fatalf("XOR accuracy = %v, want 1", acc)
+	}
+}
+
+func TestSGDTrainsLinearRegression(t *testing.T) {
+	r := rng.New(7)
+	model := nn.NewSequential(nn.NewLinear(3, 1, r))
+	// Ground truth: y = 2x0 - x1 + 0.5x2 + 1.
+	const n = 64
+	x := tensor.New(n, 3)
+	target := tensor.New(n, 1)
+	r.FillNormal(x.Data, 0, 1)
+	for i := 0; i < n; i++ {
+		target.Data[i] = 2*x.At(i, 0) - x.At(i, 1) + 0.5*x.At(i, 2) + 1
+	}
+	optim := NewSGD(model.Params(), 0.1, 0.9, 0)
+	var final float64
+	for epoch := 0; epoch < 200; epoch++ {
+		model.ZeroGrad()
+		pred := model.Forward(x, true)
+		l, grad := loss.MSE(pred, target)
+		model.Backward(grad)
+		optim.Step()
+		final = l
+	}
+	if final > 1e-3 {
+		t.Fatalf("linear regression did not converge: final loss %v", final)
+	}
+}
+
+func TestSetLR(t *testing.T) {
+	var o Optimizer = NewSGD(nil, 0.1, 0, 0)
+	o.SetLR(0.5)
+	if o.LR() != 0.5 {
+		t.Fatal("SGD SetLR failed")
+	}
+	o = NewAdam(nil, 0.1)
+	o.SetLR(0.5)
+	if o.LR() != 0.5 {
+		t.Fatal("Adam SetLR failed")
+	}
+}

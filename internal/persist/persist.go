@@ -1,0 +1,131 @@
+// Package persist provides durable storage for the artifacts a federated
+// run produces: flat parameter vectors (global model checkpoints, CVAE
+// decoder payloads) in a versioned little-endian binary format, and run
+// histories as JSON. A downstream deployment checkpoints the global model
+// between rounds and replays histories for analysis; the fedbench tool
+// uses the same format for its result artifacts.
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"fedguard/internal/fl"
+)
+
+// Magic and version identify the weight-vector file format.
+const (
+	weightsMagic   = 0x46644757 // "FdGW"
+	weightsVersion = 1
+)
+
+// WriteWeights serializes a flat parameter vector to w: magic, version,
+// length, then raw little-endian float32s.
+func WriteWeights(w io.Writer, weights []float32) error {
+	bw := bufio.NewWriter(w)
+	header := []uint32{weightsMagic, weightsVersion, uint32(len(weights))}
+	for _, h := range header {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return fmt.Errorf("persist: writing header: %w", err)
+		}
+	}
+	buf := make([]byte, 4)
+	for _, v := range weights {
+		binary.LittleEndian.PutUint32(buf, math.Float32bits(v))
+		if _, err := bw.Write(buf); err != nil {
+			return fmt.Errorf("persist: writing weights: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadWeights deserializes a parameter vector written by WriteWeights.
+func ReadWeights(r io.Reader) ([]float32, error) {
+	br := bufio.NewReader(r)
+	var magic, version, n uint32
+	for _, dst := range []*uint32{&magic, &version, &n} {
+		if err := binary.Read(br, binary.LittleEndian, dst); err != nil {
+			return nil, fmt.Errorf("persist: reading header: %w", err)
+		}
+	}
+	if magic != weightsMagic {
+		return nil, fmt.Errorf("persist: bad magic %#x", magic)
+	}
+	if version != weightsVersion {
+		return nil, fmt.Errorf("persist: unsupported version %d", version)
+	}
+	const maxParams = 1 << 28 // 1 GiB of float32s; guards corrupt headers
+	if n > maxParams {
+		return nil, fmt.Errorf("persist: implausible parameter count %d", n)
+	}
+	out := make([]float32, n)
+	buf := make([]byte, 4)
+	for i := range out {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("persist: reading weight %d: %w", i, err)
+		}
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf))
+	}
+	return out, nil
+}
+
+// SaveWeights writes a parameter vector to path (atomically via a
+// temporary file in the same directory).
+func SaveWeights(path string, weights []float32) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := WriteWeights(f, weights); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadWeights reads a parameter vector from path.
+func LoadWeights(path string) ([]float32, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadWeights(f)
+}
+
+// SaveHistory writes a run history to path as indented JSON.
+func SaveHistory(path string, h *fl.History) error {
+	data, err := json.MarshalIndent(h, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadHistory reads a run history written by SaveHistory.
+func LoadHistory(path string) (*fl.History, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var h fl.History
+	if err := json.Unmarshal(data, &h); err != nil {
+		return nil, fmt.Errorf("persist: decoding history: %w", err)
+	}
+	return &h, nil
+}

@@ -1,0 +1,160 @@
+package rng
+
+import "math"
+
+// NormFloat64 returns a standard normal (mean 0, stddev 1) sample using
+// the Box–Muller transform with caching of the second variate.
+func (r *RNG) NormFloat64() float64 {
+	if r.haveGauss {
+		r.haveGauss = false
+		return r.gauss
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	f := math.Sqrt(-2 * math.Log(s) / s)
+	r.gauss = v * f
+	r.haveGauss = true
+	return u * f
+}
+
+// NormFloat32 returns a standard normal sample as float32.
+func (r *RNG) NormFloat32() float32 { return float32(r.NormFloat64()) }
+
+// Gaussian returns a normal sample with the given mean and stddev.
+func (r *RNG) Gaussian(mean, stddev float64) float64 {
+	return mean + stddev*r.NormFloat64()
+}
+
+// Categorical draws an index from the discrete distribution given by
+// probs. Probabilities need not be normalized; they must be non-negative
+// and not all zero.
+func (r *RNG) Categorical(probs []float64) int {
+	var total float64
+	for _, p := range probs {
+		if p < 0 || math.IsNaN(p) {
+			panic("rng: Categorical with negative or NaN probability")
+		}
+		total += p
+	}
+	if total <= 0 {
+		panic("rng: Categorical with zero total mass")
+	}
+	x := r.Float64() * total
+	var acc float64
+	for i, p := range probs {
+		acc += p
+		if x < acc {
+			return i
+		}
+	}
+	return len(probs) - 1 // floating point slack
+}
+
+// CategoricalUniform draws an index from Cat(L, alpha = 1/L), the
+// class-balanced conditioning distribution FedGuard uses to synthesize
+// validation labels.
+func (r *RNG) CategoricalUniform(l int) int { return r.Intn(l) }
+
+// Gamma returns a sample from the Gamma(shape, 1) distribution using the
+// Marsaglia–Tsang method (2000). shape must be positive.
+func (r *RNG) Gamma(shape float64) float64 {
+	if shape <= 0 {
+		panic("rng: Gamma with non-positive shape")
+	}
+	if shape < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+		u := r.Float64()
+		for u == 0 {
+			u = r.Float64()
+		}
+		return r.Gamma(shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1.0 / math.Sqrt(9*d)
+	for {
+		var x, v float64
+		for {
+			x = r.NormFloat64()
+			v = 1 + c*x
+			if v > 0 {
+				break
+			}
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// Dirichlet returns one sample from the symmetric Dirichlet distribution
+// with concentration alpha over k categories. The result sums to 1.
+func (r *RNG) Dirichlet(alpha float64, k int) []float64 {
+	if k <= 0 {
+		panic("rng: Dirichlet with non-positive k")
+	}
+	out := make([]float64, k)
+	var sum float64
+	for i := range out {
+		g := r.Gamma(alpha)
+		out[i] = g
+		sum += g
+	}
+	if sum == 0 {
+		// Degenerate draw (possible for tiny alpha): fall back to a
+		// single random category to keep the simplex property.
+		out[r.Intn(k)] = 1
+		return out
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// DirichletVec returns one sample from the Dirichlet distribution with
+// per-category concentrations alphas.
+func (r *RNG) DirichletVec(alphas []float64) []float64 {
+	out := make([]float64, len(alphas))
+	var sum float64
+	for i, a := range alphas {
+		g := r.Gamma(a)
+		out[i] = g
+		sum += g
+	}
+	if sum == 0 {
+		out[r.Intn(len(alphas))] = 1
+		return out
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// FillNormal fills dst with i.i.d. Gaussian samples of the given mean and
+// stddev.
+func (r *RNG) FillNormal(dst []float32, mean, stddev float64) {
+	for i := range dst {
+		dst[i] = float32(mean + stddev*r.NormFloat64())
+	}
+}
+
+// FillUniform fills dst with i.i.d. uniform samples in [lo, hi).
+func (r *RNG) FillUniform(dst []float32, lo, hi float64) {
+	span := hi - lo
+	for i := range dst {
+		dst[i] = float32(lo + span*r.Float64())
+	}
+}

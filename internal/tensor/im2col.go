@@ -1,0 +1,76 @@
+package tensor
+
+import "fmt"
+
+// Im2Col unrolls sliding convolution windows of a (C, H, W) image into a
+// matrix of shape (outH*outW, C*kh*kw) so convolution reduces to a matrix
+// multiply with the (outC, C*kh*kw) filter matrix. Stride is 1 and there
+// is no padding, matching the paper's classifier (Table II).
+//
+// dst must have shape (outH*outW, C*kh*kw) where outH = H-kh+1 and
+// outW = W-kw+1.
+func Im2Col(dst, img *Tensor, kh, kw int) {
+	if img.Rank() != 3 {
+		panic("tensor: Im2Col requires a (C,H,W) image")
+	}
+	c, h, w := img.Dim(0), img.Dim(1), img.Dim(2)
+	outH, outW := h-kh+1, w-kw+1
+	if outH <= 0 || outW <= 0 {
+		panic(fmt.Sprintf("tensor: Im2Col kernel (%d,%d) larger than image (%d,%d)", kh, kw, h, w))
+	}
+	cols := c * kh * kw
+	if dst.Dim(0) != outH*outW || dst.Dim(1) != cols {
+		panic(fmt.Sprintf("tensor: Im2Col dst shape %v, want (%d,%d)", dst.Shape(), outH*outW, cols))
+	}
+	d := dst.Data
+	src := img.Data
+	for oy := 0; oy < outH; oy++ {
+		for ox := 0; ox < outW; ox++ {
+			row := d[(oy*outW+ox)*cols:]
+			idx := 0
+			for ch := 0; ch < c; ch++ {
+				base := ch * h * w
+				for ky := 0; ky < kh; ky++ {
+					srcRow := src[base+(oy+ky)*w+ox:]
+					copy(row[idx:idx+kw], srcRow[:kw])
+					idx += kw
+				}
+			}
+		}
+	}
+}
+
+// Col2Im scatters gradient columns back into an image gradient,
+// accumulating where windows overlap. It is the adjoint of Im2Col: cols
+// has shape (outH*outW, C*kh*kw) and dst has shape (C, H, W). dst is
+// zeroed first.
+func Col2Im(dst, cols *Tensor, kh, kw int) {
+	if dst.Rank() != 3 {
+		panic("tensor: Col2Im requires a (C,H,W) destination")
+	}
+	c, h, w := dst.Dim(0), dst.Dim(1), dst.Dim(2)
+	outH, outW := h-kh+1, w-kw+1
+	nCols := c * kh * kw
+	if cols.Dim(0) != outH*outW || cols.Dim(1) != nCols {
+		panic(fmt.Sprintf("tensor: Col2Im cols shape %v, want (%d,%d)", cols.Shape(), outH*outW, nCols))
+	}
+	dst.Zero()
+	d := dst.Data
+	src := cols.Data
+	for oy := 0; oy < outH; oy++ {
+		for ox := 0; ox < outW; ox++ {
+			row := src[(oy*outW+ox)*nCols:]
+			idx := 0
+			for ch := 0; ch < c; ch++ {
+				base := ch * h * w
+				for ky := 0; ky < kh; ky++ {
+					dstRow := d[base+(oy+ky)*w+ox:]
+					for kx := 0; kx < kw; kx++ {
+						dstRow[kx] += row[idx]
+						idx++
+					}
+				}
+			}
+		}
+	}
+}

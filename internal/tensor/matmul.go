@@ -1,0 +1,198 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the number of multiply-accumulate operations below
+// which MatMul runs single-threaded; spawning goroutines for tiny
+// products costs more than it saves.
+const parallelThreshold = 1 << 16
+
+// MatMul computes dst = a @ b for 2-D tensors, where a is (m,k) and b is
+// (k,n). dst must be (m,n) and must not alias a or b. Large products are
+// split row-wise across GOMAXPROCS goroutines.
+func MatMul(dst, a, b *Tensor) {
+	if a.Rank() != 2 || b.Rank() != 2 || dst.Rank() != 2 {
+		panic("tensor: MatMul requires rank-2 tensors")
+	}
+	m, k := a.Dim(0), a.Dim(1)
+	k2, n := b.Dim(0), b.Dim(1)
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch: (%d,%d)@(%d,%d)", m, k, k2, n))
+	}
+	if dst.Dim(0) != m || dst.Dim(1) != n {
+		panic(fmt.Sprintf("tensor: MatMul dst shape %v, want (%d,%d)", dst.shape, m, n))
+	}
+
+	work := m * n * k
+	workers := runtime.GOMAXPROCS(0)
+	if work < parallelThreshold || workers < 2 || m < 2 {
+		matmulRows(dst.Data, a.Data, b.Data, 0, m, k, n)
+		return
+	}
+	if workers > m {
+		workers = m
+	}
+	chunk := (m + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matmulRows(dst.Data, a.Data, b.Data, lo, hi, k, n)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// matmulRows computes rows [lo,hi) of dst = a @ b using an ikj loop order
+// so the inner loop streams both b and dst rows sequentially (cache- and
+// bounds-check-friendly).
+func matmulRows(dst, a, b []float32, lo, hi, k, n int) {
+	for i := lo; i < hi; i++ {
+		di := dst[i*n : i*n+n]
+		for x := range di {
+			di[x] = 0
+		}
+		ai := a[i*k : i*k+k]
+		for p, av := range ai {
+			if av == 0 {
+				continue
+			}
+			bp := b[p*n : p*n+n]
+			for j, bv := range bp {
+				di[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulT computes dst = a @ bᵀ, where a is (m,k) and b is (n,k). This is
+// the backward-pass primitive for linear layers and avoids materializing
+// the transpose.
+func MatMulT(dst, a, b *Tensor) {
+	m, k := a.Dim(0), a.Dim(1)
+	n, k2 := b.Dim(0), b.Dim(1)
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulT inner dimension mismatch: (%d,%d)@(%d,%d)T", m, k, n, k2))
+	}
+	if dst.Dim(0) != m || dst.Dim(1) != n {
+		panic(fmt.Sprintf("tensor: MatMulT dst shape %v, want (%d,%d)", dst.shape, m, n))
+	}
+	work := m * n * k
+	workers := runtime.GOMAXPROCS(0)
+	if work < parallelThreshold || workers < 2 || m < 2 {
+		matmulTRows(dst.Data, a.Data, b.Data, 0, m, k, n)
+		return
+	}
+	if workers > m {
+		workers = m
+	}
+	chunk := (m + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matmulTRows(dst.Data, a.Data, b.Data, lo, hi, k, n)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func matmulTRows(dst, a, b []float32, lo, hi, k, n int) {
+	for i := lo; i < hi; i++ {
+		ai := a[i*k : i*k+k]
+		di := dst[i*n : i*n+n]
+		for j := 0; j < n; j++ {
+			bj := b[j*k : j*k+k]
+			var acc float32
+			for p := range ai {
+				acc += ai[p] * bj[p]
+			}
+			di[j] = acc
+		}
+	}
+}
+
+// MatMulTA computes dst = aᵀ @ b, where a is (k,m) and b is (k,n). This is
+// the weight-gradient primitive: dW = xᵀ @ dy.
+func MatMulTA(dst, a, b *Tensor) {
+	k, m := a.Dim(0), a.Dim(1)
+	k2, n := b.Dim(0), b.Dim(1)
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTA inner dimension mismatch: (%d,%d)T@(%d,%d)", k, m, k2, n))
+	}
+	if dst.Dim(0) != m || dst.Dim(1) != n {
+		panic(fmt.Sprintf("tensor: MatMulTA dst shape %v, want (%d,%d)", dst.shape, m, n))
+	}
+	// dst[i][j] = sum_p a[p][i] * b[p][j]. Accumulate row-of-b into rows of
+	// dst selected by a's row, streaming both.
+	dst.Zero()
+	work := m * n * k
+	workers := runtime.GOMAXPROCS(0)
+	if work < parallelThreshold || workers < 2 || m < 2 {
+		matmulTARows(dst.Data, a.Data, b.Data, 0, m, k, n)
+		return
+	}
+	if workers > m {
+		workers = m
+	}
+	chunk := (m + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matmulTARows(dst.Data, a.Data, b.Data, lo, hi, k, n)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// matmulTARows computes rows [lo,hi) of dst = aᵀ@b: for each p,
+// dst[i] += a[p*m+i] * b[p]. Row-parallel over i means each goroutine
+// reads all of a and b but writes only its own dst rows — race-free.
+func matmulTARows(dst, a, b []float32, lo, hi, k, n int) {
+	m := len(dst) / n
+	for i := lo; i < hi; i++ {
+		di := dst[i*n : i*n+n]
+		for p := 0; p < k; p++ {
+			av := a[p*m+i]
+			if av == 0 {
+				continue
+			}
+			bp := b[p*n : p*n+n]
+			for j, bv := range bp {
+				di[j] += av * bv
+			}
+		}
+	}
+}

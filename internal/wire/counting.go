@@ -1,0 +1,41 @@
+package wire
+
+import (
+	"io"
+	"sync/atomic"
+)
+
+// CountingConn wraps a stream and counts bytes in both directions. The
+// networked federation uses it to report *measured* wire traffic rather
+// than computed payload sizes, making Table V's communication columns an
+// actual observation.
+type CountingConn struct {
+	rw      io.ReadWriter
+	read    atomic.Int64
+	written atomic.Int64
+}
+
+// NewCountingConn wraps rw.
+func NewCountingConn(rw io.ReadWriter) *CountingConn {
+	return &CountingConn{rw: rw}
+}
+
+// Read implements io.Reader.
+func (c *CountingConn) Read(p []byte) (int, error) {
+	n, err := c.rw.Read(p)
+	c.read.Add(int64(n))
+	return n, err
+}
+
+// Write implements io.Writer.
+func (c *CountingConn) Write(p []byte) (int, error) {
+	n, err := c.rw.Write(p)
+	c.written.Add(int64(n))
+	return n, err
+}
+
+// BytesRead returns the total bytes read so far.
+func (c *CountingConn) BytesRead() int64 { return c.read.Load() }
+
+// BytesWritten returns the total bytes written so far.
+func (c *CountingConn) BytesWritten() int64 { return c.written.Load() }

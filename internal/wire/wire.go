@@ -1,0 +1,351 @@
+// Package wire defines the binary protocol of the networked federation
+// (package fednet): length-prefixed frames carrying typed messages with
+// explicit little-endian encoding. Parameter vectors travel as raw
+// float32s — 4 bytes per parameter — so measured wire traffic matches the
+// paper's Table V accounting exactly.
+//
+// Frame layout:
+//
+//	[4-byte little-endian payload length][1-byte message type][payload]
+//
+// The payload length covers the type byte plus the body. Frames are
+// capped at MaxFrame to bound memory against corrupt or hostile peers.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// MaxFrame bounds a single frame's payload (type byte + body). The paper
+// model (1.66M parameters ≈ 6.7 MB) fits with a wide margin.
+const MaxFrame = 256 << 20
+
+// Message types.
+const (
+	TypeHello        byte = 1 // client → server: registration
+	TypeSetup        byte = 2 // server → client: experiment configuration
+	TypeTrainRequest byte = 3 // server → client: one round of work
+	TypeUpdate       byte = 4 // client → server: trained update
+	TypeShutdown     byte = 5 // server → client: experiment over
+)
+
+// Hello registers a client with the server.
+type Hello struct {
+	ClientID uint32
+}
+
+// Setup tells a freshly registered client everything it needs to
+// reconstruct its local state deterministically: the shared experiment
+// seed (from which its private RNG stream is derived), the dataset
+// generation parameters (clients regenerate SynthDigits locally rather
+// than receiving pixels), its partition indices, its attack role, and
+// the model/training hyperparameters.
+type Setup struct {
+	Seed      uint64
+	DataSeed  uint64
+	TrainSize uint32
+	Indices   []uint32
+
+	ArchName string
+	// Classifier training.
+	Epochs, BatchSize uint32
+	LR, Momentum      float64
+	// CVAE architecture + training.
+	CVAEHidden, CVAELatent uint32
+	CVAEEpochs, CVAEBatch  uint32
+	CVAELR                 float64
+	NumClasses             uint32
+	// Attack role: "" or "none" means benign. AttackSeed pins the shared
+	// collusive noise vector.
+	Attack     string
+	AttackSeed uint64
+}
+
+// TrainRequest asks a client to run one local round from the given
+// global parameters.
+type TrainRequest struct {
+	Round       uint32
+	NeedDecoder bool
+	Global      []float32
+}
+
+// Update carries a client's trained submission back to the server.
+type Update struct {
+	Round          uint32
+	ClientID       uint32
+	NumSamples     uint32
+	Weights        []float32
+	Decoder        []float32 // empty when not requested
+	DecoderClasses []uint32
+}
+
+// Shutdown ends the client's session.
+type Shutdown struct{}
+
+// WriteMessage frames and writes one message.
+func WriteMessage(w io.Writer, msg any) error {
+	var typ byte
+	var body []byte
+	switch m := msg.(type) {
+	case *Hello:
+		typ = TypeHello
+		body = appendU32(nil, m.ClientID)
+	case *Setup:
+		typ = TypeSetup
+		body = encodeSetup(m)
+	case *TrainRequest:
+		typ = TypeTrainRequest
+		body = appendU32(nil, m.Round)
+		body = append(body, boolByte(m.NeedDecoder))
+		body = appendF32s(body, m.Global)
+	case *Update:
+		typ = TypeUpdate
+		body = appendU32(nil, m.Round)
+		body = appendU32(body, m.ClientID)
+		body = appendU32(body, m.NumSamples)
+		body = appendF32s(body, m.Weights)
+		body = appendF32s(body, m.Decoder)
+		body = appendU32s(body, m.DecoderClasses)
+	case *Shutdown:
+		typ = TypeShutdown
+	default:
+		return fmt.Errorf("wire: cannot encode %T", msg)
+	}
+	n := len(body) + 1
+	if n > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	header := make([]byte, 5)
+	binary.LittleEndian.PutUint32(header, uint32(n))
+	header[4] = typ
+	bw := bufio.NewWriterSize(w, 64<<10)
+	if _, err := bw.Write(header); err != nil {
+		return err
+	}
+	if _, err := bw.Write(body); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadMessage reads and decodes one framed message.
+func ReadMessage(r io.Reader) (any, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	if n == 0 || n > MaxFrame {
+		return nil, fmt.Errorf("wire: bad frame length %d", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("wire: truncated frame: %w", err)
+	}
+	typ := payload[0]
+	body := payload[1:]
+	d := &decoder{buf: body}
+	switch typ {
+	case TypeHello:
+		m := &Hello{ClientID: d.u32()}
+		return m, d.err
+	case TypeSetup:
+		return decodeSetup(d)
+	case TypeTrainRequest:
+		m := &TrainRequest{Round: d.u32()}
+		m.NeedDecoder = d.u8() != 0
+		m.Global = d.f32s()
+		return m, d.err
+	case TypeUpdate:
+		m := &Update{Round: d.u32(), ClientID: d.u32(), NumSamples: d.u32()}
+		m.Weights = d.f32s()
+		m.Decoder = d.f32s()
+		m.DecoderClasses = d.u32s()
+		return m, d.err
+	case TypeShutdown:
+		return &Shutdown{}, nil
+	default:
+		return nil, fmt.Errorf("wire: unknown message type %d", typ)
+	}
+}
+
+func encodeSetup(m *Setup) []byte {
+	b := appendU64(nil, m.Seed)
+	b = appendU64(b, m.DataSeed)
+	b = appendU32(b, m.TrainSize)
+	b = appendU32s(b, m.Indices)
+	b = appendString(b, m.ArchName)
+	b = appendU32(b, m.Epochs)
+	b = appendU32(b, m.BatchSize)
+	b = appendF64(b, m.LR)
+	b = appendF64(b, m.Momentum)
+	b = appendU32(b, m.CVAEHidden)
+	b = appendU32(b, m.CVAELatent)
+	b = appendU32(b, m.CVAEEpochs)
+	b = appendU32(b, m.CVAEBatch)
+	b = appendF64(b, m.CVAELR)
+	b = appendU32(b, m.NumClasses)
+	b = appendString(b, m.Attack)
+	b = appendU64(b, m.AttackSeed)
+	return b
+}
+
+func decodeSetup(d *decoder) (*Setup, error) {
+	m := &Setup{}
+	m.Seed = d.u64()
+	m.DataSeed = d.u64()
+	m.TrainSize = d.u32()
+	m.Indices = d.u32s()
+	m.ArchName = d.str()
+	m.Epochs = d.u32()
+	m.BatchSize = d.u32()
+	m.LR = d.f64()
+	m.Momentum = d.f64()
+	m.CVAEHidden = d.u32()
+	m.CVAELatent = d.u32()
+	m.CVAEEpochs = d.u32()
+	m.CVAEBatch = d.u32()
+	m.CVAELR = d.f64()
+	m.NumClasses = d.u32()
+	m.Attack = d.str()
+	m.AttackSeed = d.u64()
+	return m, d.err
+}
+
+// --- primitive encoders ------------------------------------------------
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+func appendF64(b []byte, v float64) []byte {
+	return appendU64(b, math.Float64bits(v))
+}
+
+func appendString(b []byte, s string) []byte {
+	b = appendU32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+func appendU32s(b []byte, vs []uint32) []byte {
+	b = appendU32(b, uint32(len(vs)))
+	for _, v := range vs {
+		b = appendU32(b, v)
+	}
+	return b
+}
+
+func appendF32s(b []byte, vs []float32) []byte {
+	b = appendU32(b, uint32(len(vs)))
+	off := len(b)
+	b = append(b, make([]byte, 4*len(vs))...)
+	for i, v := range vs {
+		binary.LittleEndian.PutUint32(b[off+4*i:], math.Float32bits(v))
+	}
+	return b
+}
+
+// --- primitive decoder --------------------------------------------------
+
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if len(d.buf) < n {
+		d.err = io.ErrUnexpectedEOF
+		return nil
+	}
+	out := d.buf[:n]
+	d.buf = d.buf[n:]
+	return out
+}
+
+func (d *decoder) u8() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *decoder) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *decoder) f64() float64 {
+	return math.Float64frombits(d.u64())
+}
+
+func (d *decoder) str() string {
+	n := d.u32()
+	if d.err != nil || n > uint32(len(d.buf)) {
+		if d.err == nil {
+			d.err = io.ErrUnexpectedEOF
+		}
+		return ""
+	}
+	return string(d.take(int(n)))
+}
+
+func (d *decoder) u32s() []uint32 {
+	n := d.u32()
+	if d.err != nil || uint64(n)*4 > uint64(len(d.buf)) {
+		if d.err == nil {
+			d.err = io.ErrUnexpectedEOF
+		}
+		return nil
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = d.u32()
+	}
+	return out
+}
+
+func (d *decoder) f32s() []float32 {
+	n := d.u32()
+	if d.err != nil || uint64(n)*4 > uint64(len(d.buf)) {
+		if d.err == nil {
+			d.err = io.ErrUnexpectedEOF
+		}
+		return nil
+	}
+	raw := d.take(int(n) * 4)
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+	return out
+}

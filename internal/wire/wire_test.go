@@ -1,0 +1,221 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"fedguard/internal/rng"
+)
+
+func roundTrip(t *testing.T, msg any) any {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, msg); err != nil {
+		t.Fatalf("encode %T: %v", msg, err)
+	}
+	got, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatalf("decode %T: %v", msg, err)
+	}
+	return got
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	got := roundTrip(t, &Hello{ClientID: 42})
+	if h, ok := got.(*Hello); !ok || h.ClientID != 42 {
+		t.Fatalf("got %#v", got)
+	}
+}
+
+func TestSetupRoundTrip(t *testing.T) {
+	in := &Setup{
+		Seed: 7, DataSeed: 9, TrainSize: 1000,
+		Indices:  []uint32{1, 5, 9},
+		ArchName: "tiny",
+		Epochs:   3, BatchSize: 32, LR: 0.05, Momentum: 0.9,
+		CVAEHidden: 256, CVAELatent: 2, CVAEEpochs: 30, CVAEBatch: 32, CVAELR: 1e-3,
+		NumClasses: 10,
+		Attack:     "sign-flip", AttackSeed: 11,
+	}
+	got := roundTrip(t, in)
+	if !reflect.DeepEqual(in, got) {
+		t.Fatalf("setup round trip:\n in %#v\nout %#v", in, got)
+	}
+}
+
+func TestTrainRequestRoundTrip(t *testing.T) {
+	r := rng.New(1)
+	global := make([]float32, 1000)
+	r.FillNormal(global, 0, 1)
+	in := &TrainRequest{Round: 3, NeedDecoder: true, Global: global}
+	got := roundTrip(t, in).(*TrainRequest)
+	if got.Round != 3 || !got.NeedDecoder {
+		t.Fatalf("header fields lost: %+v", got)
+	}
+	if !reflect.DeepEqual(got.Global, global) {
+		t.Fatal("global weights corrupted")
+	}
+}
+
+func TestUpdateRoundTrip(t *testing.T) {
+	r := rng.New(2)
+	w := make([]float32, 500)
+	d := make([]float32, 200)
+	r.FillNormal(w, 0, 1)
+	r.FillNormal(d, 0, 1)
+	in := &Update{
+		Round: 9, ClientID: 4, NumSamples: 120,
+		Weights: w, Decoder: d, DecoderClasses: []uint32{2, 5, 7},
+	}
+	got := roundTrip(t, in).(*Update)
+	if !reflect.DeepEqual(in, got) {
+		t.Fatal("update round trip corrupted data")
+	}
+}
+
+func TestUpdateRoundTripEmptyOptionalFields(t *testing.T) {
+	in := &Update{Round: 1, ClientID: 2, NumSamples: 3, Weights: []float32{1}}
+	got := roundTrip(t, in).(*Update)
+	if len(got.Decoder) != 0 || len(got.DecoderClasses) != 0 {
+		t.Fatalf("empty fields became %v, %v", got.Decoder, got.DecoderClasses)
+	}
+}
+
+func TestShutdownRoundTrip(t *testing.T) {
+	if _, ok := roundTrip(t, &Shutdown{}).(*Shutdown); !ok {
+		t.Fatal("shutdown lost its type")
+	}
+}
+
+func TestMultipleMessagesOnOneStream(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []any{
+		&Hello{ClientID: 1},
+		&TrainRequest{Round: 1, Global: []float32{1, 2}},
+		&Shutdown{},
+	}
+	for _, m := range msgs {
+		if err := WriteMessage(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range msgs {
+		got, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if reflect.TypeOf(got) != reflect.TypeOf(msgs[i]) {
+			t.Fatalf("message %d type %T, want %T", i, got, msgs[i])
+		}
+	}
+}
+
+func TestReadMessageRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		{},                      // empty
+		{1, 2},                  // short header
+		{0, 0, 0, 0, 9},         // zero length
+		{255, 255, 255, 255, 1}, // oversized
+		{2, 0, 0, 0, 99, 0},     // unknown type
+	}
+	for i, c := range cases {
+		if _, err := ReadMessage(bytes.NewReader(c)); err == nil {
+			t.Fatalf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestReadMessageRejectsTruncatedBody(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, &TrainRequest{Round: 1, Global: make([]float32, 100)}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := ReadMessage(bytes.NewReader(data[:len(data)-10])); err == nil {
+		t.Fatal("truncated body accepted")
+	}
+}
+
+func TestDecoderGuardsLengthLies(t *testing.T) {
+	// An Update whose f32s header claims more floats than the body holds.
+	body := []byte{TypeUpdate}
+	body = appendU32(body, 1)          // round
+	body = appendU32(body, 1)          // client
+	body = appendU32(body, 1)          // samples
+	body = appendU32(body, 1000000000) // claimed weight count
+	frame := make([]byte, 4)
+	frame = append(frame, body...)
+	// Fix up length prefix.
+	frame[0] = byte(len(body))
+	if _, err := ReadMessage(bytes.NewReader(frame)); err == nil {
+		t.Fatal("length-lying frame accepted")
+	}
+}
+
+func TestQuickUpdateRoundTrip(t *testing.T) {
+	f := func(round, id, samples uint32, w []float32, classes []uint32) bool {
+		in := &Update{Round: round, ClientID: id, NumSamples: samples,
+			Weights: w, DecoderClasses: classes}
+		var buf bytes.Buffer
+		if err := WriteMessage(&buf, in); err != nil {
+			return false
+		}
+		got, err := ReadMessage(&buf)
+		if err != nil {
+			return false
+		}
+		u, ok := got.(*Update)
+		if !ok || u.Round != round || u.ClientID != id || u.NumSamples != samples {
+			return false
+		}
+		if len(u.Weights) != len(w) || len(u.DecoderClasses) != len(classes) {
+			return false
+		}
+		for i := range w {
+			// Compare bit patterns so NaN payloads round-trip too.
+			if !sameBits(u.Weights[i], w[i]) {
+				return false
+			}
+		}
+		for i := range classes {
+			if u.DecoderClasses[i] != classes[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sameBits(a, b float32) bool {
+	return (a == b) || (a != a && b != b) // equal, or both NaN
+}
+
+func TestCountingConn(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewCountingConn(&buf)
+	if err := WriteMessage(c, &Hello{ClientID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	written := c.BytesWritten()
+	if written != int64(buf.Len()) {
+		t.Fatalf("counted %d written, buffer has %d", written, buf.Len())
+	}
+	if _, err := ReadMessage(c); err != nil {
+		t.Fatal(err)
+	}
+	if c.BytesRead() != written {
+		t.Fatalf("read count %d, want %d", c.BytesRead(), written)
+	}
+}
+
+func TestWriteMessageRejectsUnknownType(t *testing.T) {
+	if err := WriteMessage(io.Discard, struct{}{}); err == nil {
+		t.Fatal("unknown message type accepted")
+	}
+}
