@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build test test-short race vet ci bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race -short ./...
+
+vet:
+	$(GO) vet ./...
+
+# ci is the gate for every change: static analysis plus the short test
+# suite under the race detector (telemetry and fednet are concurrent).
+ci: vet race
+
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+
+clean:
+	$(GO) clean ./...
+	rm -rf results/

@@ -22,15 +22,17 @@ import (
 	"strings"
 
 	"fedguard/internal/experiment"
+	"fedguard/internal/telemetry"
 )
 
 func main() {
 	var (
-		preset    = flag.String("preset", "default", "experiment scale: quick, default, paper")
-		out       = flag.String("out", "results", "output directory")
-		ablations = flag.Bool("ablations", false, "also run the §VI ablation sweeps")
-		fig4Only  = flag.Bool("fig4-only", false, "run only the Fig. 4 / Table IV matrix")
-		svgFrom   = flag.String("svg-from-csv", "", "re-render an archived series CSV as SVG and exit")
+		preset     = flag.String("preset", "default", "experiment scale: quick, default, paper")
+		out        = flag.String("out", "results", "output directory")
+		ablations  = flag.Bool("ablations", false, "also run the §VI ablation sweeps")
+		fig4Only   = flag.Bool("fig4-only", false, "run only the Fig. 4 / Table IV matrix")
+		svgFrom    = flag.String("svg-from-csv", "", "re-render an archived series CSV as SVG and exit")
+		metricsOut = flag.String("metrics-out", "", "write every run's summary statistics as a JSON metrics snapshot")
 	)
 	flag.Parse()
 
@@ -50,6 +52,18 @@ func main() {
 	}
 	log := os.Stderr
 
+	// Every result set is also published into a metrics registry so the
+	// whole bench run can be archived as one machine-readable snapshot.
+	reg := telemetry.NewRegistry()
+	defer func() {
+		if *metricsOut == "" {
+			return
+		}
+		writeFile(filepath.Dir(*metricsOut), filepath.Base(*metricsOut), func(f *os.File) error {
+			return reg.WriteJSON(f)
+		})
+	}()
+
 	// --- Fig. 4 + Table IV: the scenario × strategy matrix. -------------
 	scenarios := append([]experiment.Scenario{mustScenario("no-attack")},
 		experiment.TableIVScenarios()...)
@@ -57,6 +71,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	experiment.RecordResults(reg, results)
 	writeFile(*out, "table4.md", func(f *os.File) error {
 		return experiment.WriteTableIV(f, results)
 	})
@@ -86,6 +101,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	experiment.RecordResults(reg, fig5)
 	writeFile(*out, "fig5.csv", func(f *os.File) error {
 		return experiment.WriteSeriesCSV(f, fig5, func(r *experiment.Result) string { return r.Strategy })
 	})
@@ -94,10 +110,11 @@ func main() {
 	})
 
 	// --- Table V: per-round traffic and time. ----------------------------
-	rows, _, err := experiment.Overhead(setup, experiment.StrategyNames(), log)
+	rows, overheadResults, err := experiment.Overhead(setup, experiment.StrategyNames(), log)
 	if err != nil {
 		fatal(err)
 	}
+	experiment.RecordResults(reg, overheadResults)
 	writeFile(*out, "table5.md", func(f *os.File) error {
 		return experiment.WriteTableV(f, rows)
 	})
@@ -112,6 +129,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	experiment.RecordResults(reg, tRes)
 	writeFile(*out, "ablation_samples.csv", func(f *os.File) error {
 		return experiment.WriteTableIVCSV(f, tRes)
 	})
@@ -119,6 +137,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	experiment.RecordResults(reg, innerRes)
 	writeFile(*out, "ablation_inner.csv", func(f *os.File) error {
 		return experiment.WriteTableIVCSV(f, innerRes)
 	})
@@ -127,6 +146,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	experiment.RecordResults(reg, alphaRes)
 	writeFile(*out, "ablation_dirichlet.csv", func(f *os.File) error {
 		return experiment.WriteTableIVCSV(f, alphaRes)
 	})

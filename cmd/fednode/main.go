@@ -26,6 +26,7 @@ import (
 	"fedguard/internal/fednet"
 	"fedguard/internal/fl"
 	"fedguard/internal/rng"
+	"fedguard/internal/telemetry"
 )
 
 func main() {
@@ -37,6 +38,9 @@ func main() {
 		preset   = flag.String("preset", "quick", "experiment scale: quick, default, paper")
 		scenario = flag.String("scenario", "no-attack", "attack scenario (see fedsim -list)")
 		strategy = flag.String("strategy", "FedGuard", "aggregation strategy")
+
+		events    = flag.String("events", "", "server: write a structured JSONL event log to this path")
+		debugAddr = flag.String("debug-addr", "", "server: serve /metrics, /healthz, expvar and pprof on this address")
 	)
 	flag.Parse()
 
@@ -46,7 +50,7 @@ func main() {
 			fatal(err)
 		}
 	case "server":
-		if err := runServer(*listen, *preset, *scenario, *strategy); err != nil {
+		if err := runServer(*listen, *preset, *scenario, *strategy, *events, *debugAddr); err != nil {
 			fatal(err)
 		}
 	default:
@@ -54,10 +58,31 @@ func main() {
 	}
 }
 
-func runServer(listen, preset, scenarioID, strategyName string) error {
+func runServer(listen, preset, scenarioID, strategyName, events, debugAddr string) error {
 	setup, err := experiment.NewSetup(experiment.Preset(preset))
 	if err != nil {
 		return err
+	}
+
+	var tel *telemetry.T
+	if events != "" || debugAddr != "" {
+		tel = telemetry.New(nil)
+		if events != "" {
+			sink, err := telemetry.NewFileSink(events)
+			if err != nil {
+				return err
+			}
+			defer sink.Close()
+			tel.Events = sink
+		}
+		if debugAddr != "" {
+			ds, err := telemetry.ServeDebug(debugAddr, tel.Metrics)
+			if err != nil {
+				return err
+			}
+			defer ds.Close()
+			fmt.Fprintf(os.Stderr, "fednode: debug endpoints on http://%s/\n", ds.Addr())
+		}
 	}
 	sc, err := experiment.ScenarioByID(scenarioID)
 	if err != nil {
@@ -91,6 +116,7 @@ func runServer(listen, preset, scenarioID, strategyName string) error {
 		ArchName:   setup.ArchName,
 		DataSeed:   rng.DeriveSeed(setup.Seed, "traindata", 0),
 		TrainSize:  setup.TrainSize,
+		Telemetry:  tel,
 	}
 	test := dataset.Generate(setup.TestSize, dataset.DefaultGenOptions(),
 		rng.New(rng.DeriveSeed(setup.Seed, "testdata", 0)))

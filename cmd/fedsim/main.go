@@ -20,6 +20,7 @@ import (
 	"fedguard/internal/fl"
 	"fedguard/internal/metrics"
 	"fedguard/internal/persist"
+	"fedguard/internal/telemetry"
 )
 
 func main() {
@@ -36,6 +37,10 @@ func main() {
 		confusion = flag.Bool("confusion", false, "print the final model's confusion matrix on the test set")
 		save      = flag.String("save", "", "write the final global model checkpoint to this path")
 		list      = flag.Bool("list", false, "list scenarios and strategies, then exit")
+
+		events     = flag.String("events", "", "write a structured JSONL event log to this path")
+		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /healthz, expvar and pprof on this address (e.g. 127.0.0.1:6060)")
+		metricsOut = flag.String("metrics-out", "", "write a JSON metrics snapshot to this path on exit")
 	)
 	flag.Parse()
 
@@ -70,16 +75,23 @@ func main() {
 	fmt.Fprintf(os.Stderr, "fedsim: preset=%s scenario=%s strategy=%s clients=%d m=%d rounds=%d arch=%s\n",
 		*preset, sc.ID, *strategy, setup.NumClients, setup.PerRound, setup.Rounds, setup.ArchName)
 
+	tel, cleanup, err := setupTelemetry(*events, *debugAddr, *metricsOut)
+	if err != nil {
+		fatal(err)
+	}
+	defer cleanup()
+
 	res, err := experiment.Run(setup, sc, *strategy, experiment.RunOptions{
-		ServerLR: *serverLR,
-		Seed:     *seed,
+		ServerLR:  *serverLR,
+		Seed:      *seed,
+		Telemetry: tel,
 		OnRound: func(rec fl.RoundRecord) {
 			fmt.Fprintf(os.Stderr, "round %3d  acc=%.4f  malicious-sampled=%d/%d  %.2fs",
 				rec.Round, rec.TestAccuracy, rec.MaliciousSampled, len(rec.Sampled), rec.Seconds)
-			if v, ok := rec.Report["fedguard_excluded"]; ok {
+			if v, ok := rec.Report[fl.ReportFedGuardExcluded]; ok {
 				fmt.Fprintf(os.Stderr, "  excluded=%d", int(v))
 			}
-			if v, ok := rec.Report["spectral_excluded"]; ok {
+			if v, ok := rec.Report[fl.ReportSpectralExcluded]; ok {
 				fmt.Fprintf(os.Stderr, "  excluded=%d", int(v))
 			}
 			fmt.Fprintln(os.Stderr)
@@ -121,6 +133,56 @@ func main() {
 		fmt.Fprintf(os.Stderr, "checkpoint written to %s (%d parameters)\n",
 			*save, len(res.History.FinalWeights))
 	}
+}
+
+// setupTelemetry assembles the run's observability from the three
+// flags: a JSONL event log, a debug HTTP listener, and a JSON metrics
+// snapshot written at exit. All three disabled returns a nil *T, which
+// keeps every instrumentation call in the hot path a no-op.
+func setupTelemetry(events, debugAddr, metricsOut string) (*telemetry.T, func(), error) {
+	if events == "" && debugAddr == "" && metricsOut == "" {
+		return nil, func() {}, nil
+	}
+	tel := telemetry.New(nil)
+	var closers []func()
+	if events != "" {
+		sink, err := telemetry.NewFileSink(events)
+		if err != nil {
+			return nil, nil, err
+		}
+		tel.Events = sink
+		closers = append(closers, func() {
+			if err := sink.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "fedsim: event log:", err)
+			}
+		})
+	}
+	if debugAddr != "" {
+		ds, err := telemetry.ServeDebug(debugAddr, tel.Metrics)
+		if err != nil {
+			return nil, nil, err
+		}
+		fmt.Fprintf(os.Stderr, "fedsim: debug endpoints on http://%s/\n", ds.Addr())
+		closers = append(closers, func() { ds.Close() })
+	}
+	if metricsOut != "" {
+		closers = append(closers, func() {
+			f, err := os.Create(metricsOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fedsim: metrics snapshot:", err)
+				return
+			}
+			defer f.Close()
+			if err := tel.Metrics.WriteJSON(f); err != nil {
+				fmt.Fprintln(os.Stderr, "fedsim: metrics snapshot:", err)
+			}
+		})
+	}
+	return tel, func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}, nil
 }
 
 func fatal(err error) {

@@ -67,7 +67,7 @@ func (s *KrumStrategy) Aggregate(ctx *fl.RoundContext) ([]float32, error) {
 	if err != nil {
 		return nil, err
 	}
-	ctx.Report["krum_selected"] = float64(ctx.Updates[idx].ClientID)
+	ctx.Report[fl.ReportKrumSelected] = float64(ctx.Updates[idx].ClientID)
 	out := make([]float32, len(ctx.Updates[idx].Weights))
 	copy(out, ctx.Updates[idx].Weights)
 	return out, nil

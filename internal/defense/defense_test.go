@@ -10,6 +10,7 @@ import (
 	"fedguard/internal/dataset"
 	"fedguard/internal/fl"
 	"fedguard/internal/rng"
+	"fedguard/internal/telemetry"
 )
 
 // buildFixture returns (benign weights, decoder payload, cvae config).
@@ -111,6 +112,8 @@ func TestFedGuardExcludesGarbageUpdates(t *testing.T) {
 	g := NewFedGuard(classifier.Tiny(), ccfg)
 	g.Samples = 60
 	ctx := ctxWith(updates, 4)
+	sink := &telemetry.CollectSink{}
+	ctx.Telemetry = telemetry.New(sink)
 	out, err := g.Aggregate(ctx)
 	if err != nil {
 		t.Fatal(err)
@@ -123,6 +126,35 @@ func TestFedGuardExcludesGarbageUpdates(t *testing.T) {
 	for i := range out {
 		if out[i] != benign[i] {
 			t.Fatal("aggregate polluted by excluded updates")
+		}
+	}
+	// The structured event log must mirror the selection decisions
+	// one-to-one: one ClientExcluded per rejected update, scored below the
+	// round mean.
+	events := sink.ByKind("ClientExcluded")
+	if len(events) != int(ctx.Report["fedguard_excluded"]) {
+		t.Fatalf("%d ClientExcluded events for %v exclusions",
+			len(events), ctx.Report["fedguard_excluded"])
+	}
+	excludedIDs := map[int]bool{}
+	for _, e := range events {
+		ce := e.(telemetry.ClientExcluded)
+		if ce.Round != ctx.Round {
+			t.Fatalf("event round %d, want %d", ce.Round, ctx.Round)
+		}
+		if ce.Acc >= ce.Mean {
+			t.Fatalf("excluded client %d scored %v >= mean %v", ce.ClientID, ce.Acc, ce.Mean)
+		}
+		excludedIDs[ce.ClientID] = true
+	}
+	if !excludedIDs[3] || !excludedIDs[4] {
+		t.Fatalf("excluded IDs %v, want the poison clients 3 and 4", excludedIDs)
+	}
+	// Phase spans must have fired for synthesis and auditing.
+	for _, phase := range []string{"server.synthesize", "server.audit"} {
+		h := ctx.Telemetry.Metrics.Histogram(telemetry.PhaseMetric, telemetry.L("phase", phase))
+		if h.Count() == 0 {
+			t.Fatalf("no %s span recorded", phase)
 		}
 	}
 }

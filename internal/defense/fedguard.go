@@ -86,6 +86,7 @@ func (g *FedGuard) Aggregate(ctx *fl.RoundContext) ([]float32, error) {
 	}
 
 	// Score every update on the synthetic validation set (line 5).
+	stopAudit := ctx.Telemetry.StartSpan("server.audit")
 	accs := make([]float64, len(updates))
 	var mean float64
 	for i, u := range updates {
@@ -97,6 +98,7 @@ func (g *FedGuard) Aggregate(ctx *fl.RoundContext) ([]float32, error) {
 		mean += acc
 	}
 	mean /= float64(len(updates)) // line 6
+	stopAudit()
 
 	// filter(ψ, ACC_j >= mean) (line 7).
 	if g.excludedCount == nil {
@@ -110,11 +112,12 @@ func (g *FedGuard) Aggregate(ctx *fl.RoundContext) ([]float32, error) {
 			kept = append(kept, u)
 		} else {
 			g.excludedCount[u.ClientID]++
+			ctx.ExcludeClient(u.ClientID, accs[i], mean)
 		}
 	}
-	ctx.Report["fedguard_mean_acc"] = mean
-	ctx.Report["fedguard_kept"] = float64(len(kept))
-	ctx.Report["fedguard_excluded"] = float64(len(updates) - len(kept))
+	ctx.Report[fl.ReportFedGuardMeanAcc] = mean
+	ctx.Report[fl.ReportFedGuardKept] = float64(len(kept))
+	ctx.Report[fl.ReportFedGuardExcluded] = float64(len(updates) - len(kept))
 
 	inner := g.Inner
 	if inner == nil {
@@ -145,6 +148,7 @@ func (g *FedGuard) DetectionStats() (excluded, participated map[int]int) {
 // as ground truth. Exposed for tests and for the data-inspection
 // examples.
 func (g *FedGuard) Synthesize(ctx *fl.RoundContext) (*tensor.Tensor, []int, error) {
+	defer ctx.Telemetry.StartSpan("server.synthesize")()
 	decoders, decoderClasses, err := g.activeDecoders(ctx)
 	if err != nil {
 		return nil, nil, err

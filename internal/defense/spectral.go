@@ -133,11 +133,13 @@ func (s *Spectral) Aggregate(ctx *fl.RoundContext) ([]float32, error) {
 	if len(updates) == 0 {
 		return nil, aggregate.ErrNoUpdates
 	}
+	stopAudit := ctx.Telemetry.StartSpan("server.audit")
 	x := tensor.New(len(updates), s.SurrogateDim)
 	for i, u := range updates {
 		copy(x.Data[i*s.SurrogateDim:(i+1)*s.SurrogateDim], s.proj.apply(u.Weights))
 	}
 	errs := s.vae.ReconstructionError(x)
+	stopAudit()
 	var mean float64
 	for _, e := range errs {
 		mean += e
@@ -152,10 +154,16 @@ func (s *Spectral) Aggregate(ctx *fl.RoundContext) ([]float32, error) {
 	}
 	if len(kept) == 0 {
 		kept = updates // degenerate round: fall back to everything
+	} else {
+		for i, u := range updates {
+			if errs[i] > mean {
+				ctx.ExcludeClient(u.ClientID, errs[i], mean)
+			}
+		}
 	}
-	ctx.Report["spectral_mean_err"] = mean
-	ctx.Report["spectral_kept"] = float64(len(kept))
-	ctx.Report["spectral_excluded"] = float64(len(updates) - len(kept))
+	ctx.Report[fl.ReportSpectralMeanErr] = mean
+	ctx.Report[fl.ReportSpectralKept] = float64(len(kept))
+	ctx.Report[fl.ReportSpectralExcluded] = float64(len(updates) - len(kept))
 	return aggregate.WeightedMean(kept)
 }
 

@@ -65,8 +65,13 @@ type OverheadRow struct {
 	Strategy string
 	// UploadMB and DownloadMB are the mean per-round server traffic.
 	UploadMB, DownloadMB float64
-	// Seconds is the mean per-round wall-clock duration.
-	Seconds float64
+	// Seconds is the mean per-round wall-clock duration; TrainSeconds /
+	// AggregateSeconds / EvalSeconds split it into client compute, server
+	// defense cost, and global evaluation.
+	Seconds          float64
+	TrainSeconds     float64
+	AggregateSeconds float64
+	EvalSeconds      float64
 }
 
 // TotalMB returns the round-trip traffic.
@@ -78,18 +83,23 @@ func OverheadRows(results []*Result) []OverheadRow {
 	rows := make([]OverheadRow, 0, len(results))
 	for _, r := range results {
 		up, down := r.History.MeanBytes()
+		train, agg, eval := r.History.MeanPhaseSeconds()
 		rows = append(rows, OverheadRow{
-			Strategy:   r.Strategy,
-			UploadMB:   float64(up) / (1 << 20),
-			DownloadMB: float64(down) / (1 << 20),
-			Seconds:    r.History.MeanSeconds(),
+			Strategy:         r.Strategy,
+			UploadMB:         float64(up) / (1 << 20),
+			DownloadMB:       float64(down) / (1 << 20),
+			Seconds:          r.History.MeanSeconds(),
+			TrainSeconds:     train,
+			AggregateSeconds: agg,
+			EvalSeconds:      eval,
 		})
 	}
 	return rows
 }
 
 // WriteTableV renders the paper's Table V: per-round server traffic and
-// training time with percentage overheads relative to the FedAvg row.
+// training time with percentage overheads relative to the FedAvg row,
+// plus the client-compute / server-defense split of the round time.
 func WriteTableV(w io.Writer, rows []OverheadRow) error {
 	var base *OverheadRow
 	for i := range rows {
@@ -103,8 +113,8 @@ func WriteTableV(w io.Writer, rows []OverheadRow) error {
 		}
 		return fmt.Sprintf(" (%+.0f%%)", 100*(v-b)/b)
 	}
-	fmt.Fprintln(w, "| Strategy | Server uploads / round | Server downloads / round | Server total / round | Training time / round |")
-	fmt.Fprintln(w, "|---|---|---|---|---|")
+	fmt.Fprintln(w, "| Strategy | Server uploads / round | Server downloads / round | Server total / round | Round time | Client train | Server aggregate | Eval |")
+	fmt.Fprintln(w, "|---|---|---|---|---|---|---|---|")
 	for _, r := range rows {
 		var upP, downP, totP, secP string
 		if base != nil {
@@ -113,8 +123,9 @@ func WriteTableV(w io.Writer, rows []OverheadRow) error {
 			totP = pct(r.TotalMB(), base.TotalMB())
 			secP = pct(r.Seconds, base.Seconds)
 		}
-		fmt.Fprintf(w, "| %s | %.1f MB%s | %.1f MB%s | %.1f MB%s | %.2f s%s |\n",
-			r.Strategy, r.UploadMB, upP, r.DownloadMB, downP, r.TotalMB(), totP, r.Seconds, secP)
+		fmt.Fprintf(w, "| %s | %.1f MB%s | %.1f MB%s | %.1f MB%s | %.2f s%s | %.2f s | %.2f s | %.2f s |\n",
+			r.Strategy, r.UploadMB, upP, r.DownloadMB, downP, r.TotalMB(), totP,
+			r.Seconds, secP, r.TrainSeconds, r.AggregateSeconds, r.EvalSeconds)
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"fedguard/internal/fl"
+	"fedguard/internal/telemetry"
 )
 
 // Result couples a finished run with its identity.
@@ -31,6 +32,9 @@ type RunOptions struct {
 	OnRound func(fl.RoundRecord)
 	// Seed overrides the setup seed when non-zero (for repeat runs).
 	Seed uint64
+	// Telemetry, when non-nil, receives the run's structured events and
+	// phase-level metrics (threaded into fl.FederationConfig).
+	Telemetry *telemetry.T
 }
 
 // Run executes one (setup, scenario, strategy) cell and returns its
@@ -71,6 +75,7 @@ func Run(setup Setup, sc Scenario, strategyName string, opts RunOptions) (*Resul
 		Workers:    setup.Workers,
 		TestSubset: setup.TestSubset,
 		Seed:       seed,
+		Telemetry:  opts.Telemetry,
 	}
 	if sc.MaliciousFraction > 0 {
 		cfg.Attack = att
@@ -84,6 +89,31 @@ func Run(setup Setup, sc Scenario, strategyName string, opts RunOptions) (*Resul
 		return nil, err
 	}
 	return &Result{Scenario: sc, Strategy: strategyName, History: h, LastN: setup.LastN}, nil
+}
+
+// RecordResults publishes a finished result set into a telemetry
+// registry: per-cell summary gauges keyed by scenario and strategy.
+// fedbench uses this to emit its run as a JSON metrics snapshot, giving
+// future perf work a machine-readable trajectory to compare against.
+func RecordResults(reg *telemetry.Registry, results []*Result) {
+	for _, r := range results {
+		labels := []telemetry.Label{
+			telemetry.L("scenario", r.Scenario.ID),
+			telemetry.L("strategy", r.Strategy),
+		}
+		reg.Gauge("bench_mean_accuracy", labels...).Set(r.Mean())
+		reg.Gauge("bench_std_accuracy", labels...).Set(r.Std())
+		reg.Gauge("bench_final_accuracy", labels...).Set(r.History.FinalAccuracy())
+		reg.Gauge("bench_round_seconds", labels...).Set(r.History.MeanSeconds())
+		train, agg, eval := r.History.MeanPhaseSeconds()
+		reg.Gauge("bench_train_seconds", labels...).Set(train)
+		reg.Gauge("bench_aggregate_seconds", labels...).Set(agg)
+		reg.Gauge("bench_eval_seconds", labels...).Set(eval)
+		up, down := r.History.MeanBytes()
+		reg.Gauge("bench_upload_bytes", labels...).Set(float64(up))
+		reg.Gauge("bench_download_bytes", labels...).Set(float64(down))
+		reg.Gauge("bench_rounds", labels...).Set(float64(len(r.History.Rounds)))
+	}
 }
 
 // RunMatrix runs every scenario × strategy cell, reporting progress to

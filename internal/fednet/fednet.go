@@ -18,6 +18,7 @@ package fednet
 import (
 	"fmt"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
@@ -27,6 +28,7 @@ import (
 	"fedguard/internal/dataset"
 	"fedguard/internal/fl"
 	"fedguard/internal/rng"
+	"fedguard/internal/telemetry"
 	"fedguard/internal/wire"
 )
 
@@ -45,6 +47,9 @@ type Config struct {
 	// SynthDigits training set locally (no pixels on the wire).
 	DataSeed  uint64
 	TrainSize int
+	// Telemetry, when non-nil, receives structured run events,
+	// phase-level metrics, and per-peer measured byte-count gauges.
+	Telemetry *telemetry.T
 }
 
 // NewAttackByName builds a client-side attack instance. AdditiveNoise
@@ -131,7 +136,9 @@ func (s *Server) Run(ln net.Listener, onRound func(fl.RoundRecord)) (*fl.History
 	defer func() {
 		for _, c := range clients {
 			c.send(&wire.Shutdown{})
-			c.conn.Close()
+			// Closing the wrapper (not the raw conn) fires the counting
+			// hook, publishing each peer's final byte totals.
+			c.count.Close()
 		}
 	}()
 
@@ -150,6 +157,18 @@ func (s *Server) Run(ln net.Listener, onRound func(fl.RoundRecord)) (*fl.History
 	needDecoders := s.strategy.NeedsDecoders()
 	history := &fl.History{Strategy: s.strategy.Name()}
 
+	tel := s.cfg.Telemetry
+	tel.Emit(telemetry.RunStarted{
+		Strategy:          s.strategy.Name(),
+		NumClients:        cfg.NumClients,
+		PerRound:          cfg.PerRound,
+		Rounds:            cfg.Rounds,
+		Seed:              cfg.Seed,
+		Attack:            s.cfg.AttackName,
+		MaliciousFraction: cfg.MaliciousFraction,
+	})
+	runStart := time.Now()
+
 	// Snapshot the counters so registration/setup traffic is not charged
 	// to round 1.
 	var lastRead, lastWritten int64
@@ -158,8 +177,17 @@ func (s *Server) Run(ln net.Listener, onRound func(fl.RoundRecord)) (*fl.History
 		lastWritten += c.count.BytesWritten()
 	}
 	for round := 1; round <= cfg.Rounds; round++ {
-		start := time.Now()
+		trainStart := time.Now()
 		sampled := serverRNG.Sample(cfg.NumClients, cfg.PerRound)
+		var attackIDs []int
+		for _, id := range sampled {
+			if malicious[id] {
+				attackIDs = append(attackIDs, id)
+			}
+		}
+		if len(attackIDs) > 0 {
+			tel.Emit(telemetry.AttackSampled{Round: round, ClientIDs: attackIDs})
+		}
 
 		updates := make([]fl.Update, len(sampled))
 		errs := make([]error, len(sampled))
@@ -177,13 +205,17 @@ func (s *Server) Run(ln net.Listener, onRound func(fl.RoundRecord)) (*fl.History
 				return history, fmt.Errorf("fednet: round %d client %d: %w", round, sampled[i], err)
 			}
 		}
+		trainSecs := time.Since(trainStart).Seconds()
 
+		aggStart := time.Now()
+		stopAgg := tel.StartSpan("server.aggregate")
 		ctx := &fl.RoundContext{
-			Round:   round,
-			Global:  global,
-			Updates: updates,
-			RNG:     serverRNG.Split(),
-			Report:  map[string]float64{},
+			Round:     round,
+			Global:    global,
+			Updates:   updates,
+			RNG:       serverRNG.Split(),
+			Report:    map[string]float64{},
+			Telemetry: tel,
 		}
 		agg, err := s.strategy.Aggregate(ctx)
 		if err != nil {
@@ -195,7 +227,8 @@ func (s *Server) Run(ln net.Listener, onRound func(fl.RoundRecord)) (*fl.History
 			next[i] = global[i] + lr*(agg[i]-global[i])
 		}
 		global = next
-		elapsed := time.Since(start).Seconds()
+		stopAgg()
+		aggSecs := time.Since(aggStart).Seconds()
 
 		// Measured wire traffic this round, all clients combined. From the
 		// server's perspective writes are uploads, reads are downloads.
@@ -205,6 +238,7 @@ func (s *Server) Run(ln net.Listener, onRound func(fl.RoundRecord)) (*fl.History
 			read += c.count.BytesRead()
 			written += c.count.BytesWritten()
 		}
+		s.publishPeerBytes(clients)
 		for _, id := range sampled {
 			if malicious[id] {
 				maliciousSampled++
@@ -212,7 +246,8 @@ func (s *Server) Run(ln net.Listener, onRound func(fl.RoundRecord)) (*fl.History
 		}
 		rec := fl.RoundRecord{
 			Round:            round,
-			Seconds:          elapsed,
+			TrainSeconds:     trainSecs,
+			AggregateSeconds: aggSecs,
 			UploadBytes:      written - lastWritten,
 			DownloadBytes:    read - lastRead,
 			Sampled:          sampled,
@@ -221,17 +256,44 @@ func (s *Server) Run(ln net.Listener, onRound func(fl.RoundRecord)) (*fl.History
 		}
 		lastRead, lastWritten = read, written
 
+		evalStart := time.Now()
+		stopEval := tel.StartSpan("server.eval")
 		if err := eval.LoadParams(global); err != nil {
 			return history, err
 		}
 		rec.TestAccuracy = classifier.Evaluate(eval, s.test, testIdx)
+		stopEval()
+		rec.EvalSeconds = time.Since(evalStart).Seconds()
+		rec.Seconds = rec.TrainSeconds + rec.AggregateSeconds + rec.EvalSeconds
+
+		fl.RecordRound(tel, rec)
 		history.Rounds = append(history.Rounds, rec)
 		if onRound != nil {
 			onRound(rec)
 		}
 	}
 	history.FinalWeights = global
+	tel.Emit(telemetry.RunCompleted{
+		Rounds:        cfg.Rounds,
+		FinalAccuracy: history.FinalAccuracy(),
+		TotalSeconds:  time.Since(runStart).Seconds(),
+	})
 	return history, nil
+}
+
+// publishPeerBytes refreshes the per-peer measured byte gauges from the
+// counting wrappers (labels: client=<id>; direction from the server's
+// perspective).
+func (s *Server) publishPeerBytes(clients map[int]*clientConn) {
+	tel := s.cfg.Telemetry
+	if tel == nil || tel.Metrics == nil {
+		return
+	}
+	for id, c := range clients {
+		l := telemetry.L("client", strconv.Itoa(id))
+		tel.SetGauge("fedguard_peer_bytes_read", float64(c.count.BytesRead()), l)
+		tel.SetGauge("fedguard_peer_bytes_written", float64(c.count.BytesWritten()), l)
+	}
 }
 
 // trainOne sends one round's work to a client and reads back its update.
@@ -301,6 +363,13 @@ func (s *Server) register(ln net.Listener, parts [][]int, malicious map[int]bool
 			return nil, fmt.Errorf("fednet: duplicate client ID %d", id)
 		}
 		c := &clientConn{id: id, conn: conn, count: count}
+		if tel := s.cfg.Telemetry; tel != nil {
+			l := telemetry.L("client", strconv.Itoa(id))
+			count.OnClose(func(read, written int64) {
+				tel.SetGauge("fedguard_peer_bytes_read", float64(read), l)
+				tel.SetGauge("fedguard_peer_bytes_written", float64(written), l)
+			})
+		}
 		if err := c.send(s.setupFor(id, parts[id], malicious[id])); err != nil {
 			conn.Close()
 			return nil, fmt.Errorf("fednet: sending setup to %d: %w", id, err)

@@ -2,6 +2,7 @@ package fednet
 
 import (
 	"net"
+	"strconv"
 	"sync"
 	"testing"
 
@@ -12,6 +13,7 @@ import (
 	"fedguard/internal/dataset"
 	"fedguard/internal/fl"
 	"fedguard/internal/rng"
+	"fedguard/internal/telemetry"
 )
 
 func testConfig() Config {
@@ -233,5 +235,33 @@ func TestRegisterRejectsBadIDs(t *testing.T) {
 	}
 	if err := <-done; err == nil {
 		t.Fatal("server accepted an out-of-range client ID")
+	}
+}
+
+func TestLoopbackTelemetry(t *testing.T) {
+	cfg := testConfig()
+	sink := &telemetry.CollectSink{}
+	cfg.Telemetry = telemetry.New(sink)
+	test := dataset.Generate(40, dataset.DefaultGenOptions(), rng.New(5))
+	h := runLoopback(t, cfg, aggregate.NewFedAvg(), test)
+
+	if got := len(sink.ByKind("RoundCompleted")); got != cfg.Experiment.Rounds {
+		t.Fatalf("%d RoundCompleted events for %d rounds", got, cfg.Experiment.Rounds)
+	}
+	for i, rec := range h.Rounds {
+		if rec.Seconds != rec.TrainSeconds+rec.AggregateSeconds+rec.EvalSeconds {
+			t.Fatalf("round %d phase split does not sum: %+v", i+1, rec)
+		}
+	}
+	// Measured per-peer byte gauges must exist and be positive for every
+	// registered client (setup traffic alone guarantees both directions).
+	reg := cfg.Telemetry.Metrics
+	for id := 0; id < cfg.Experiment.NumClients; id++ {
+		l := telemetry.L("client", strconv.Itoa(id))
+		read := reg.Gauge("fedguard_peer_bytes_read", l).Value()
+		written := reg.Gauge("fedguard_peer_bytes_written", l).Value()
+		if read <= 0 || written <= 0 {
+			t.Fatalf("client %d peer gauges: read=%v written=%v", id, read, written)
+		}
 	}
 }

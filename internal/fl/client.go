@@ -6,6 +6,7 @@ import (
 	"fedguard/internal/cvae"
 	"fedguard/internal/dataset"
 	"fedguard/internal/rng"
+	"fedguard/internal/telemetry"
 )
 
 // ClientConfig bundles the per-client training hyperparameters shared by
@@ -49,6 +50,10 @@ type Client struct {
 	// Cached CVAE decoder payload and the classes it saw.
 	decoder        []float32
 	decoderClasses []int
+
+	// tel records client-phase spans (nil-safe; set by the federation or
+	// the networked client loop).
+	tel *telemetry.T
 }
 
 // NewClient builds a client over the partition ds[indices]. att may be
@@ -81,6 +86,11 @@ func (c *Client) EnableStream(initialFraction float64, grow, retrainEvery int) {
 	c.retrainEvery = retrainEvery
 	c.viewReady = false
 }
+
+// SetTelemetry attaches the run's telemetry bundle (nil disables
+// client-phase spans). Concurrent RunRound calls on *different* clients
+// may share one bundle; the registry is concurrency-safe.
+func (c *Client) SetTelemetry(t *telemetry.T) { c.tel = t }
 
 // NumSamples returns the currently visible local partition size.
 func (c *Client) NumSamples() int { return c.visible }
@@ -117,12 +127,14 @@ func (c *Client) RunRound(global []float32, needDecoder bool) Update {
 	}
 	ds, indices := c.view()
 
+	stopTrain := c.tel.StartSpan("client.train")
 	model := c.cfg.Arch(c.rng)
 	if err := model.LoadParams(global); err != nil {
 		panic(err) // architecture mismatch is a programming error
 	}
 	classifier.Train(model, ds, indices, c.cfg.Train, c.rng)
 	weights := model.FlattenParams()
+	stopTrain()
 	if ga, ok := c.att.(attack.GlobalAware); ok {
 		ga.PoisonModelWithGlobal(weights, global, c.rng)
 	} else {
@@ -143,6 +155,7 @@ func (c *Client) RunRound(global []float32, needDecoder bool) Update {
 func (c *Client) decoderPayload() ([]float32, []int) {
 	stale := c.retrainEvery > 0 && c.sinceCVAETrain >= c.retrainEvery
 	if c.decoder == nil || stale {
+		defer c.tel.StartSpan("client.cvae_train")()
 		ds, indices := c.view()
 		m := cvae.New(c.cfg.CVAE, c.rng)
 		m.Train(ds, indices, c.cfg.CVAETrain, c.rng)

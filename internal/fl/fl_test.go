@@ -9,6 +9,7 @@ import (
 	"fedguard/internal/cvae"
 	"fedguard/internal/dataset"
 	"fedguard/internal/rng"
+	"fedguard/internal/telemetry"
 )
 
 func tinyClientConfig() ClientConfig {
@@ -611,3 +612,144 @@ func TestCustomSamplerUsed(t *testing.T) {
 type fixedSampler struct{ ids []int }
 
 func (f fixedSampler) SampleClients(round, n, m int, r *rng.RNG) []int { return f.ids }
+
+// excludingStrategy rejects the first update every round through the
+// typed ExcludeClient path, recording what it did for comparison with
+// the event log.
+type excludingStrategy struct {
+	excluded [][]int
+}
+
+func (e *excludingStrategy) Name() string        { return "excluding" }
+func (e *excludingStrategy) NeedsDecoders() bool { return false }
+func (e *excludingStrategy) Aggregate(ctx *RoundContext) ([]float32, error) {
+	id := ctx.Updates[0].ClientID
+	ctx.ExcludeClient(id, 0.1, 0.5)
+	e.excluded = append(e.excluded, []int{id})
+	ctx.Report[ReportFedGuardExcluded] = 1
+	out := make([]float32, len(ctx.Global))
+	copy(out, ctx.Global)
+	return out, nil
+}
+
+func TestFederationEmitsTelemetry(t *testing.T) {
+	r := rng.New(40)
+	train := dataset.Generate(120, dataset.DefaultGenOptions(), r)
+	test := dataset.Generate(40, dataset.DefaultGenOptions(), r)
+	cfg := tinyFederationConfig()
+	cfg.MaliciousFraction = 0.5
+	cfg.Attack = attack.NewSignFlip()
+	sink := &telemetry.CollectSink{}
+	cfg.Telemetry = telemetry.New(sink)
+	fed, err := NewFederation(train, test, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strat := &excludingStrategy{}
+	h, err := fed.Run(strat, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := len(sink.ByKind("RunStarted")); got != 1 {
+		t.Fatalf("%d RunStarted events", got)
+	}
+	if got := len(sink.ByKind("RunCompleted")); got != 1 {
+		t.Fatalf("%d RunCompleted events", got)
+	}
+	rounds := sink.ByKind("RoundCompleted")
+	if len(rounds) != cfg.Rounds {
+		t.Fatalf("%d RoundCompleted events for %d rounds", len(rounds), cfg.Rounds)
+	}
+	for i, e := range rounds {
+		rc := e.(telemetry.RoundCompleted)
+		rec := h.Rounds[i]
+		if rc.Round != i+1 {
+			t.Fatalf("event %d is round %d", i, rc.Round)
+		}
+		if rc.TestAccuracy != rec.TestAccuracy || rc.UploadBytes != rec.UploadBytes {
+			t.Fatalf("event %d disagrees with history: %+v vs %+v", i, rc, rec)
+		}
+		sum := rec.TrainSeconds + rec.AggregateSeconds + rec.EvalSeconds
+		if rec.Seconds != sum {
+			t.Fatalf("round %d Seconds %v != phase sum %v", rec.Round, rec.Seconds, sum)
+		}
+		if rec.TrainSeconds <= 0 || rec.EvalSeconds <= 0 {
+			t.Fatalf("round %d missing phase timings: %+v", rec.Round, rec)
+		}
+	}
+
+	// ClientExcluded events must exactly mirror the strategy's decisions.
+	excl := sink.ByKind("ClientExcluded")
+	var want []int
+	for _, ids := range strat.excluded {
+		want = append(want, ids...)
+	}
+	if len(excl) != len(want) {
+		t.Fatalf("%d ClientExcluded events, want %d", len(excl), len(want))
+	}
+	for i, e := range excl {
+		ce := e.(telemetry.ClientExcluded)
+		if ce.ClientID != want[i] || ce.Round != i+1 {
+			t.Fatalf("event %d = %+v, want client %d round %d", i, ce, want[i], i+1)
+		}
+	}
+
+	// AttackSampled ground truth must agree with the per-round counts.
+	var attacked int
+	for _, e := range sink.ByKind("AttackSampled") {
+		attacked += len(e.(telemetry.AttackSampled).ClientIDs)
+	}
+	var wantAttacked int
+	for _, rec := range h.Rounds {
+		wantAttacked += rec.MaliciousSampled
+	}
+	if attacked != wantAttacked {
+		t.Fatalf("AttackSampled covers %d clients, history says %d", attacked, wantAttacked)
+	}
+
+	// Metrics side: round counter and client.train spans.
+	reg := cfg.Telemetry.Metrics
+	if got := reg.Counter("fedguard_rounds_total").Value(); got != float64(cfg.Rounds) {
+		t.Fatalf("rounds_total = %v", got)
+	}
+	trainSpans := reg.Histogram(telemetry.PhaseMetric, telemetry.L("phase", "client.train"))
+	if got := trainSpans.Count(); got != int64(cfg.Rounds*cfg.PerRound) {
+		t.Fatalf("client.train spans = %d, want %d", got, cfg.Rounds*cfg.PerRound)
+	}
+}
+
+func TestFederationNilTelemetryUnchanged(t *testing.T) {
+	r := rng.New(41)
+	train := dataset.Generate(120, dataset.DefaultGenOptions(), r)
+	test := dataset.Generate(40, dataset.DefaultGenOptions(), r)
+
+	run := func(tel *telemetry.T) *History {
+		cfg := tinyFederationConfig()
+		cfg.Telemetry = tel
+		fed, err := NewFederation(train, test, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := fed.Run(&fedAvgForTest{}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	plain := run(nil)
+	instrumented := run(telemetry.New(&telemetry.CollectSink{}))
+	if len(plain.FinalWeights) != len(instrumented.FinalWeights) {
+		t.Fatal("weight count diverged")
+	}
+	for i := range plain.FinalWeights {
+		if plain.FinalWeights[i] != instrumented.FinalWeights[i] {
+			t.Fatal("telemetry changed the training trajectory")
+		}
+	}
+	for i := range plain.Rounds {
+		if plain.Rounds[i].TestAccuracy != instrumented.Rounds[i].TestAccuracy {
+			t.Fatal("telemetry changed per-round accuracy")
+		}
+	}
+}

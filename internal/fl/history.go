@@ -6,9 +6,18 @@ import "math"
 type RoundRecord struct {
 	Round        int
 	TestAccuracy float64
-	// Seconds is the wall-clock duration of the round (local training +
-	// aggregation, excluding evaluation).
+	// Seconds is the total wall-clock duration of the round; it equals
+	// TrainSeconds + AggregateSeconds + EvalSeconds.
 	Seconds float64
+	// TrainSeconds is the client-compute phase (parallel local training,
+	// including CVAE work and — in the networked deployment — the wire
+	// round-trips). AggregateSeconds is the server's defense/aggregation
+	// cost, and EvalSeconds the global-model evaluation. The split is
+	// what lets Table V-style overhead reports separate client compute
+	// from server defense cost.
+	TrainSeconds     float64
+	AggregateSeconds float64
+	EvalSeconds      float64
 	// UploadBytes is the server→client traffic (global model broadcast);
 	// DownloadBytes is the client→server traffic (updates, plus decoders
 	// under FedGuard). Both follow the paper's Table V accounting.
@@ -20,6 +29,19 @@ type RoundRecord struct {
 	MaliciousSampled int
 	// Report carries strategy-specific diagnostics (e.g. "excluded").
 	Report map[string]float64
+}
+
+// Excluded returns the number of updates the round's defense rejected,
+// reading the typed report keys regardless of which defense produced
+// them (0 when no defense reported).
+func (r RoundRecord) Excluded() int {
+	if v, ok := r.Report[ReportFedGuardExcluded]; ok {
+		return int(v)
+	}
+	if v, ok := r.Report[ReportSpectralExcluded]; ok {
+		return int(v)
+	}
+	return 0
 }
 
 // History is the full record of one federation run.
@@ -84,6 +106,22 @@ func (h *History) MeanSeconds() float64 {
 		s += r.Seconds
 	}
 	return s / float64(len(h.Rounds))
+}
+
+// MeanPhaseSeconds returns the average per-round duration of each
+// phase: client training, server aggregation (including any defense),
+// and global-model evaluation. Together they average to MeanSeconds.
+func (h *History) MeanPhaseSeconds() (train, aggregate, eval float64) {
+	if len(h.Rounds) == 0 {
+		return 0, 0, 0
+	}
+	for _, r := range h.Rounds {
+		train += r.TrainSeconds
+		aggregate += r.AggregateSeconds
+		eval += r.EvalSeconds
+	}
+	n := float64(len(h.Rounds))
+	return train / n, aggregate / n, eval / n
 }
 
 // MeanBytes returns the average per-round server upload and download

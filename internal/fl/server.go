@@ -10,6 +10,7 @@ import (
 	"fedguard/internal/classifier"
 	"fedguard/internal/dataset"
 	"fedguard/internal/rng"
+	"fedguard/internal/telemetry"
 )
 
 // FederationConfig describes a full federated experiment (paper §IV-A):
@@ -47,6 +48,10 @@ type FederationConfig struct {
 	TestSubset int
 	// Seed derives every random stream in the run.
 	Seed uint64
+	// Telemetry, when non-nil, receives structured run events and
+	// phase-level metrics. nil disables all instrumentation at the cost
+	// of a nil check per call site.
+	Telemetry *telemetry.T
 }
 
 // StreamConfig parameterizes dynamic client datasets (§VI-C future
@@ -153,6 +158,7 @@ func (f *Federation) Run(strategy Strategy, onRound func(RoundRecord)) (*History
 		}
 		clients[i] = NewClient(i, f.train, parts[i], cfg.Client, att,
 			rng.New(rng.DeriveSeed(cfg.Seed, "client", uint64(i))))
+		clients[i].SetTelemetry(cfg.Telemetry)
 		if cfg.Stream != nil {
 			clients[i].EnableStream(cfg.Stream.InitialFraction,
 				cfg.Stream.PerRound, cfg.Stream.CVAERetrainEvery)
@@ -176,20 +182,49 @@ func (f *Federation) Run(strategy Strategy, onRound func(RoundRecord)) (*History
 		sampler = UniformSampler{}
 	}
 
+	tel := cfg.Telemetry
+	attackName := ""
+	if cfg.Attack != nil {
+		attackName = cfg.Attack.Name()
+	}
+	tel.Emit(telemetry.RunStarted{
+		Strategy:          strategy.Name(),
+		NumClients:        cfg.NumClients,
+		PerRound:          cfg.PerRound,
+		Rounds:            cfg.Rounds,
+		Seed:              cfg.Seed,
+		Attack:            attackName,
+		MaliciousFraction: cfg.MaliciousFraction,
+	})
+	runStart := time.Now()
+
 	for round := 1; round <= cfg.Rounds; round++ {
-		start := time.Now()
+		trainStart := time.Now()
 
 		// J ← sample(range(1,N), m) (Alg. 1 line 17).
 		sampled := sampler.SampleClients(round, cfg.NumClients, cfg.PerRound, serverRNG)
+		var attackIDs []int
+		for _, id := range sampled {
+			if f.MaliciousIDs[id] {
+				attackIDs = append(attackIDs, id)
+			}
+		}
+		if len(attackIDs) > 0 {
+			tel.Emit(telemetry.AttackSampled{Round: round, ClientIDs: attackIDs})
+		}
 		updates := make([]Update, len(sampled))
 		f.trainSampled(clients, sampled, global, needDecoders, updates)
+		trainSecs := time.Since(trainStart).Seconds()
 
+		aggStart := time.Now()
+		stopAgg := tel.StartSpan("server.aggregate")
 		ctx := &RoundContext{
-			Round:   round,
-			Global:  global,
-			Updates: updates,
-			RNG:     serverRNG.Split(),
-			Report:  map[string]float64{},
+			Round:     round,
+			Global:    global,
+			Updates:   updates,
+			RNG:       serverRNG.Split(),
+			Report:    map[string]float64{},
+			Telemetry: tel,
 		}
 		agg, err := strategy.Aggregate(ctx)
 		if err != nil {
@@ -206,7 +241,8 @@ func (f *Federation) Run(strategy Strategy, onRound func(RoundRecord)) (*History
 			next[i] = global[i] + lr*(agg[i]-global[i])
 		}
 		global = next
-		elapsed := time.Since(start).Seconds()
+		stopAgg()
+		aggSecs := time.Since(aggStart).Seconds()
 
 		// Byte accounting per Table V: uploads are the global broadcast to
 		// the m sampled clients; downloads are their returned updates plus
@@ -221,7 +257,8 @@ func (f *Federation) Run(strategy Strategy, onRound func(RoundRecord)) (*History
 		}
 		rec := RoundRecord{
 			Round:            round,
-			Seconds:          elapsed,
+			TrainSeconds:     trainSecs,
+			AggregateSeconds: aggSecs,
 			UploadBytes:      int64(cfg.PerRound) * int64(len(global)) * 4,
 			DownloadBytes:    down,
 			Sampled:          sampled,
@@ -229,18 +266,55 @@ func (f *Federation) Run(strategy Strategy, onRound func(RoundRecord)) (*History
 			Report:           ctx.Report,
 		}
 
+		evalStart := time.Now()
+		stopEval := tel.StartSpan("server.eval")
 		if err := evalModel.LoadParams(global); err != nil {
 			return history, err
 		}
 		rec.TestAccuracy = classifier.Evaluate(evalModel, f.test, testIdx)
+		stopEval()
+		rec.EvalSeconds = time.Since(evalStart).Seconds()
+		rec.Seconds = rec.TrainSeconds + rec.AggregateSeconds + rec.EvalSeconds
 
+		RecordRound(tel, rec)
 		history.Rounds = append(history.Rounds, rec)
 		if onRound != nil {
 			onRound(rec)
 		}
 	}
 	history.FinalWeights = global
+	tel.Emit(telemetry.RunCompleted{
+		Rounds:        cfg.Rounds,
+		FinalAccuracy: history.FinalAccuracy(),
+		TotalSeconds:  time.Since(runStart).Seconds(),
+	})
 	return history, nil
+}
+
+// RecordRound publishes one round's record as a structured event plus
+// current-state gauges and totals counters. Shared with the networked
+// server (package fednet calls it too).
+func RecordRound(tel *telemetry.T, rec RoundRecord) {
+	tel.Emit(telemetry.RoundCompleted{
+		Round:            rec.Round,
+		TestAccuracy:     rec.TestAccuracy,
+		TrainSeconds:     rec.TrainSeconds,
+		AggregateSeconds: rec.AggregateSeconds,
+		EvalSeconds:      rec.EvalSeconds,
+		Seconds:          rec.Seconds,
+		UploadBytes:      rec.UploadBytes,
+		DownloadBytes:    rec.DownloadBytes,
+		Sampled:          rec.Sampled,
+		MaliciousSampled: rec.MaliciousSampled,
+		Report:           rec.Report,
+	})
+	tel.AddCounter("fedguard_rounds_total", 1)
+	tel.AddCounter("fedguard_upload_bytes_total", float64(rec.UploadBytes))
+	tel.AddCounter("fedguard_download_bytes_total", float64(rec.DownloadBytes))
+	tel.SetGauge("fedguard_round", float64(rec.Round))
+	tel.SetGauge("fedguard_test_accuracy", rec.TestAccuracy)
+	tel.SetGauge("fedguard_excluded", float64(rec.Excluded()))
+	tel.Observe("fedguard_round_seconds", rec.Seconds)
 }
 
 // Partition derives the federation's data partition from the experiment

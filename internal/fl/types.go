@@ -9,6 +9,32 @@ package fl
 
 import (
 	"fedguard/internal/rng"
+	"fedguard/internal/telemetry"
+)
+
+// Typed keys for the RoundContext.Report map. Strategies historically
+// invented string keys ad hoc; these constants pin the vocabulary so
+// reports, commands, and the event log agree on spelling. The map itself
+// stays for backward compatibility — RoundRecord.Excluded reads through
+// it via these keys.
+const (
+	// ReportFedGuardMeanAcc is FedGuard's per-round mean synthetic-set
+	// accuracy (Alg. 1 line 6's threshold).
+	ReportFedGuardMeanAcc = "fedguard_mean_acc"
+	// ReportFedGuardKept / ReportFedGuardExcluded count FedGuard's
+	// per-round aggregation decisions.
+	ReportFedGuardKept     = "fedguard_kept"
+	ReportFedGuardExcluded = "fedguard_excluded"
+	// ReportSpectralMeanErr is Spectral's mean surrogate reconstruction
+	// error threshold.
+	ReportSpectralMeanErr = "spectral_mean_err"
+	// ReportSpectralKept / ReportSpectralExcluded count Spectral's
+	// per-round decisions.
+	ReportSpectralKept     = "spectral_kept"
+	ReportSpectralExcluded = "spectral_excluded"
+	// ReportKrumSelected is the client ID Krum chose as the round's
+	// representative update.
+	ReportKrumSelected = "krum_selected"
 )
 
 // Update is one client's per-round submission: classifier parameters in
@@ -43,7 +69,26 @@ type RoundContext struct {
 	RNG *rng.RNG
 	// Report lets strategies expose per-round diagnostics (e.g. how many
 	// updates were excluded); the Federation copies it into History.
+	// Prefer the typed Report* key constants over ad-hoc strings.
 	Report map[string]float64
+	// Telemetry is the run's observability bundle. It is nil-safe: a
+	// strategy may call its methods (and ExcludeClient below)
+	// unconditionally.
+	Telemetry *telemetry.T
+}
+
+// ExcludeClient records that a defense rejected the given client's
+// update this round, scoring score against the round's mean threshold.
+// It emits a structured ClientExcluded event; updating the Report map
+// remains the strategy's responsibility.
+func (ctx *RoundContext) ExcludeClient(clientID int, score, mean float64) {
+	ctx.Telemetry.Emit(telemetry.ClientExcluded{
+		Round:    ctx.Round,
+		ClientID: clientID,
+		Acc:      score,
+		Mean:     mean,
+	})
+	ctx.Telemetry.AddCounter("fedguard_clients_excluded_total", 1)
 }
 
 // Sampler chooses which clients participate in a round. The default is

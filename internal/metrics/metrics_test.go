@@ -142,3 +142,43 @@ func TestLabelFlipSignature(t *testing.T) {
 		t.Fatalf("dominant confusion (%d->%d), want within the flipped pair", a, p)
 	}
 }
+
+// MostConfused with no off-diagonal mass must report the sentinel
+// (-1, -1, 0), not a phantom cell — callers render it as "no dominant
+// confusion".
+func TestMostConfusedDegenerate(t *testing.T) {
+	empty := NewConfusion(4)
+	if a, p, n := empty.MostConfused(); a != -1 || p != -1 || n != 0 {
+		t.Fatalf("empty matrix: MostConfused = (%d, %d, %d), want (-1, -1, 0)", a, p, n)
+	}
+
+	diagonal := NewConfusion(4)
+	for i := 0; i < 4; i++ {
+		for k := 0; k <= i; k++ {
+			diagonal.Add(i, i)
+		}
+	}
+	if a, p, n := diagonal.MostConfused(); a != -1 || p != -1 || n != 0 {
+		t.Fatalf("all-diagonal matrix: MostConfused = (%d, %d, %d), want (-1, -1, 0)", a, p, n)
+	}
+	if diagonal.Accuracy() != 1 {
+		t.Fatalf("all-diagonal accuracy = %v", diagonal.Accuracy())
+	}
+}
+
+func TestEvaluateWeightsLengthMismatch(t *testing.T) {
+	arch := classifier.Tiny()
+	ds := dataset.Generate(8, dataset.DefaultGenOptions(), rng.New(3))
+	idx := dataset.Range(ds.Len())
+
+	want := len(arch(rng.New(1)).FlattenParams())
+	for _, n := range []int{0, 1, want - 1, want + 1} {
+		if _, err := EvaluateWeights(arch, make([]float32, n), ds, idx); err == nil {
+			t.Fatalf("EvaluateWeights accepted a %d-element vector (model has %d)", n, want)
+		}
+	}
+	// The correct length still round-trips.
+	if _, err := EvaluateWeights(arch, make([]float32, want), ds, idx); err != nil {
+		t.Fatalf("EvaluateWeights rejected a correctly sized vector: %v", err)
+	}
+}

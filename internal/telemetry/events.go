@@ -1,0 +1,210 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Event is one structured run event. Implementations are plain data
+// structs; Kind returns the stable event-type name written to the log.
+type Event interface {
+	Kind() string
+}
+
+// RunStarted opens an experiment's event stream.
+type RunStarted struct {
+	Strategy          string  `json:"strategy"`
+	NumClients        int     `json:"num_clients"`
+	PerRound          int     `json:"per_round"`
+	Rounds            int     `json:"rounds"`
+	Seed              uint64  `json:"seed"`
+	Attack            string  `json:"attack,omitempty"`
+	MaliciousFraction float64 `json:"malicious_fraction,omitempty"`
+}
+
+// Kind implements Event.
+func (RunStarted) Kind() string { return "RunStarted" }
+
+// RoundCompleted records one federated round's full outcome: quality,
+// phase-split wall-clock cost, and wire traffic (Table V columns).
+type RoundCompleted struct {
+	Round            int     `json:"round"`
+	TestAccuracy     float64 `json:"test_accuracy"`
+	TrainSeconds     float64 `json:"train_seconds"`
+	AggregateSeconds float64 `json:"aggregate_seconds"`
+	EvalSeconds      float64 `json:"eval_seconds"`
+	Seconds          float64 `json:"seconds"`
+	UploadBytes      int64   `json:"upload_bytes"`
+	DownloadBytes    int64   `json:"download_bytes"`
+	Sampled          []int   `json:"sampled"`
+	MaliciousSampled int     `json:"malicious_sampled"`
+	// Report is the strategy's per-round diagnostic map, carried verbatim.
+	Report map[string]float64 `json:"report,omitempty"`
+}
+
+// Kind implements Event.
+func (RoundCompleted) Kind() string { return "RoundCompleted" }
+
+// ClientExcluded records one update being rejected by a defense: the
+// client's score on the round's validation signal (synthetic-set
+// accuracy for FedGuard, reconstruction error for Spectral) against the
+// round mean that set the bar.
+type ClientExcluded struct {
+	Round    int     `json:"round"`
+	ClientID int     `json:"client_id"`
+	Acc      float64 `json:"acc"`
+	Mean     float64 `json:"mean"`
+}
+
+// Kind implements Event.
+func (ClientExcluded) Kind() string { return "ClientExcluded" }
+
+// AttackSampled records that malicious clients were drawn into a round's
+// participant set — the ground truth a defense's ClientExcluded events
+// can be audited against.
+type AttackSampled struct {
+	Round     int   `json:"round"`
+	ClientIDs []int `json:"client_ids"`
+}
+
+// Kind implements Event.
+func (AttackSampled) Kind() string { return "AttackSampled" }
+
+// RunCompleted closes an experiment's event stream.
+type RunCompleted struct {
+	Rounds        int     `json:"rounds"`
+	FinalAccuracy float64 `json:"final_accuracy"`
+	TotalSeconds  float64 `json:"total_seconds"`
+}
+
+// Kind implements Event.
+func (RunCompleted) Kind() string { return "RunCompleted" }
+
+// Sink consumes structured events. Implementations must be safe for
+// concurrent use; Emit must never panic the run.
+type Sink interface {
+	Emit(Event)
+}
+
+// envelope is the JSONL wire form: one object per line with the event
+// kind, an RFC3339Nano timestamp, and the event payload under data.
+type envelope struct {
+	Time  string `json:"time"`
+	Event string `json:"event"`
+	Data  Event  `json:"data"`
+}
+
+// JSONLSink writes one JSON object per event to an io.Writer, newline
+// delimited. Marshalling errors are swallowed (telemetry must never
+// abort an experiment); write errors are retained and available via Err.
+type JSONLSink struct {
+	mu  sync.Mutex
+	w   io.Writer
+	err error
+	now func() time.Time
+}
+
+// NewJSONLSink wraps w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{w: w, now: time.Now}
+}
+
+// Emit implements Sink.
+func (s *JSONLSink) Emit(e Event) {
+	b, err := json.Marshal(envelope{
+		Time:  s.now().UTC().Format(time.RFC3339Nano),
+		Event: e.Kind(),
+		Data:  e,
+	})
+	if err != nil {
+		return
+	}
+	b = append(b, '\n')
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err == nil {
+		_, s.err = s.w.Write(b)
+	}
+}
+
+// Err returns the first write error, if any.
+func (s *JSONLSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// FileSink is a JSONLSink over an owned file.
+type FileSink struct {
+	*JSONLSink
+	f *os.File
+}
+
+// NewFileSink creates (truncating) path and streams JSONL events to it.
+func NewFileSink(path string) (*FileSink, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: event log: %w", err)
+	}
+	return &FileSink{JSONLSink: NewJSONLSink(f), f: f}, nil
+}
+
+// Close flushes and closes the underlying file, reporting any deferred
+// write error.
+func (s *FileSink) Close() error {
+	werr := s.Err()
+	if err := s.f.Close(); err != nil {
+		return err
+	}
+	return werr
+}
+
+// CollectSink buffers events in memory — for tests and for programmatic
+// post-run analysis.
+type CollectSink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit implements Sink.
+func (s *CollectSink) Emit(e Event) {
+	s.mu.Lock()
+	s.events = append(s.events, e)
+	s.mu.Unlock()
+}
+
+// Events returns a copy of everything emitted so far.
+func (s *CollectSink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.events...)
+}
+
+// ByKind returns the collected events of one kind, in emission order.
+func (s *CollectSink) ByKind(kind string) []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Event
+	for _, e := range s.events {
+		if e.Kind() == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// MultiSink fans events out to several sinks.
+type MultiSink []Sink
+
+// Emit implements Sink.
+func (m MultiSink) Emit(e Event) {
+	for _, s := range m {
+		if s != nil {
+			s.Emit(e)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"context"
+	"time"
+)
+
+// T bundles the two halves of a run's telemetry: a metrics registry for
+// numeric series and a sink for structured events. Every method is safe
+// on a nil receiver and with nil fields, so instrumented code never
+// branches on whether observability is enabled — a disabled run costs a
+// nil check per call site and nothing else.
+type T struct {
+	Metrics *Registry
+	Events  Sink
+}
+
+// New returns a T with a fresh registry and the given sink (nil sink
+// keeps events disabled while metrics collect).
+func New(sink Sink) *T {
+	return &T{Metrics: NewRegistry(), Events: sink}
+}
+
+// Emit forwards e to the event sink, if any.
+func (t *T) Emit(e Event) {
+	if t == nil || t.Events == nil {
+		return
+	}
+	t.Events.Emit(e)
+}
+
+// noopStop is returned by disabled spans.
+func noopStop() {}
+
+// PhaseMetric is the histogram family name all spans observe into,
+// labeled by phase.
+const PhaseMetric = "fedguard_phase_seconds"
+
+// StartSpan opens a phase timer. The returned stop function records the
+// elapsed seconds into the PhaseMetric histogram labeled
+// phase=<name> (plus any extra labels); call it exactly once, typically
+// via defer.
+func (t *T) StartSpan(phase string, labels ...Label) func() {
+	if t == nil || t.Metrics == nil {
+		return noopStop
+	}
+	all := make([]Label, 0, len(labels)+1)
+	all = append(all, L("phase", phase))
+	all = append(all, labels...)
+	h := t.Metrics.Histogram(PhaseMetric, all...)
+	start := time.Now()
+	return func() { h.Observe(time.Since(start).Seconds()) }
+}
+
+// AddCounter increments the named counter by d.
+func (t *T) AddCounter(name string, d float64, labels ...Label) {
+	if t == nil || t.Metrics == nil {
+		return
+	}
+	t.Metrics.Counter(name, labels...).Add(d)
+}
+
+// SetGauge sets the named gauge to v.
+func (t *T) SetGauge(name string, v float64, labels ...Label) {
+	if t == nil || t.Metrics == nil {
+		return
+	}
+	t.Metrics.Gauge(name, labels...).Set(v)
+}
+
+// Observe records v into the named histogram.
+func (t *T) Observe(name string, v float64, labels ...Label) {
+	if t == nil || t.Metrics == nil {
+		return
+	}
+	t.Metrics.Histogram(name, labels...).Observe(v)
+}
+
+// ctxKey is the context key type for a *T.
+type ctxKey struct{}
+
+// NewContext returns ctx carrying t.
+func NewContext(ctx context.Context, t *T) context.Context {
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// FromContext extracts the *T carried by ctx, or nil (which is itself a
+// valid, disabled T).
+func FromContext(ctx context.Context) *T {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(ctxKey{}).(*T)
+	return t
+}
+
+// Span opens a phase timer against the telemetry carried by ctx:
+//
+//	defer telemetry.Span(ctx, "client.train")()
+//
+// With no telemetry in ctx the call is a no-op.
+func Span(ctx context.Context, phase string, labels ...Label) func() {
+	return FromContext(ctx).StartSpan(phase, labels...)
+}

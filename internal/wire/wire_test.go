@@ -214,6 +214,56 @@ func TestCountingConn(t *testing.T) {
 	}
 }
 
+// closableBuffer records whether Close reached the wrapped stream.
+type closableBuffer struct {
+	bytes.Buffer
+	closed int
+}
+
+func (c *closableBuffer) Close() error {
+	c.closed++
+	return nil
+}
+
+func TestCountingConnClose(t *testing.T) {
+	var under closableBuffer
+	c := NewCountingConn(&under)
+	if err := WriteMessage(c, &Hello{ClientID: 7}); err != nil {
+		t.Fatal(err)
+	}
+	var fires int
+	var finalRead, finalWritten int64
+	c.OnClose(func(r, w int64) {
+		fires++
+		finalRead, finalWritten = r, w
+	})
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if under.closed != 1 {
+		t.Fatalf("underlying stream closed %d times, want 1", under.closed)
+	}
+	if fires != 1 || finalRead != 0 || finalWritten != c.BytesWritten() {
+		t.Fatalf("OnClose fired %d times with (%d, %d), want once with (0, %d)",
+			fires, finalRead, finalWritten, c.BytesWritten())
+	}
+	// A second Close forwards but must not re-fire the hook.
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if fires != 1 {
+		t.Fatalf("OnClose fired %d times after double close", fires)
+	}
+}
+
+func TestCountingConnCloseWithoutCloser(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewCountingConn(&buf) // bytes.Buffer is not a Closer
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestWriteMessageRejectsUnknownType(t *testing.T) {
 	if err := WriteMessage(io.Discard, struct{}{}); err == nil {
 		t.Fatal("unknown message type accepted")
