@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: all build test test-short race vet ci bench clean
+.PHONY: all build test test-short race vet ci bench bench-json bench-smoke clean
+
+# The substrate microbenchmarks tracked in BENCH_micro.json.
+MICRO_BENCH = BenchmarkMatMul128$$|BenchmarkConvForward$$|BenchmarkConvBackward$$|BenchmarkClassifierTrainEpoch$$|BenchmarkDecoderGenerate$$
+# Label for the snapshot written by bench-json.
+BENCH_LABEL ?= current
 
 all: build
 
@@ -19,12 +24,26 @@ race:
 vet:
 	$(GO) vet ./...
 
-# ci is the gate for every change: static analysis plus the short test
-# suite under the race detector (telemetry and fednet are concurrent).
-ci: vet race
+# ci is the gate for every change: static analysis, the short test suite
+# under the race detector (telemetry and fednet are concurrent), and one
+# iteration of every substrate microbenchmark so a broken kernel fails
+# fast even when its unit tests are skipped.
+ci: vet race bench-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+
+# bench-smoke runs each tracked microbenchmark exactly once as a
+# build-and-run sanity gate (seconds, not minutes).
+bench-smoke:
+	$(GO) test -run '^$$' -bench '$(MICRO_BENCH)' -benchmem -benchtime=1x .
+
+# bench-json measures the tracked microbenchmarks and records them as a
+# labelled snapshot in BENCH_micro.json (BENCH_LABEL=<label> to name it;
+# re-using a label replaces that snapshot).
+bench-json:
+	$(GO) test -run '^$$' -bench '$(MICRO_BENCH)' -benchmem -benchtime=3s . \
+		| $(GO) run ./cmd/benchjson -label '$(BENCH_LABEL)' -out BENCH_micro.json
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: fedguard
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkMatMul128       	   26374	    123073 ns/op	        34.08 GFLOPS	       0 B/op	       0 allocs/op
+BenchmarkClassifierTrainEpoch-4 	      37	  92277072 ns/op	      2774 samples/s
+PASS
+ok  	fedguard	17.136s
+`
+
+func TestParse(t *testing.T) {
+	snap, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.CPU != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
+		t.Fatalf("cpu = %q", snap.CPU)
+	}
+	if len(snap.Results) != 2 {
+		t.Fatalf("%d results, want 2", len(snap.Results))
+	}
+	mm := snap.Results[0]
+	if mm.Name != "BenchmarkMatMul128" || mm.Iterations != 26374 || mm.NsPerOp != 123073 {
+		t.Fatalf("matmul line parsed as %+v", mm)
+	}
+	if mm.Metrics["GFLOPS"] != 34.08 || mm.Metrics["allocs/op"] != 0 {
+		t.Fatalf("matmul metrics %v", mm.Metrics)
+	}
+	te := snap.Results[1]
+	if te.Name != "BenchmarkClassifierTrainEpoch" {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %q", te.Name)
+	}
+	if te.Metrics["samples/s"] != 2774 {
+		t.Fatalf("train epoch metrics %v", te.Metrics)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	if _, err := parse(strings.NewReader("BenchmarkX notanumber 12 ns/op\n")); err == nil {
+		t.Fatal("malformed iteration count accepted")
+	}
+}

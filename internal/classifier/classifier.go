@@ -27,8 +27,10 @@ type Arch func(r *rng.RNG) *nn.Sequential
 // 1,662,752 parameters. The softmax is fused into the loss.
 func Paper() Arch {
 	return func(r *rng.RNG) *nn.Sequential {
+		c1 := nn.NewConv2D(1, 32, 5, 5, r)
+		c1.InputGradOff = true // first layer: its input gradient is never consumed
 		return nn.NewSequential(
-			nn.NewConv2D(1, 32, 5, 5, r),
+			c1,
 			nn.NewReLU(),
 			nn.NewMaxPool2D(2, 2),
 			nn.NewConv2D(32, 64, 5, 5, r),
@@ -47,8 +49,10 @@ func Paper() Arch {
 // the attack/defense dynamics; the experiment presets use it by default.
 func Small() Arch {
 	return func(r *rng.RNG) *nn.Sequential {
+		c1 := nn.NewConv2D(1, 8, 5, 5, r)
+		c1.InputGradOff = true // first layer: its input gradient is never consumed
 		return nn.NewSequential(
-			nn.NewConv2D(1, 8, 5, 5, r),
+			c1,
 			nn.NewReLU(),
 			nn.NewMaxPool2D(2, 2),
 			nn.NewConv2D(8, 16, 5, 5, r),

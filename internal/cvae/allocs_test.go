@@ -1,0 +1,35 @@
+//go:build !race
+
+// Allocation-regression pin for the synthesis hot path. Behind !race
+// because the race detector instruments allocations and inflates counts.
+
+package cvae
+
+import (
+	"testing"
+
+	"fedguard/internal/rng"
+	"fedguard/internal/tensor"
+)
+
+// TestDecoderGenerateAllocsSteadyState pins Decoder.Generate scratch
+// reuse: once warmed up, the audit-set synthesis loop allocates nothing
+// per call — decIn, the decoder net's layer scratch, and the output
+// image buffer are all reused.
+func TestDecoderGenerateAllocsSteadyState(t *testing.T) {
+	r := rng.New(0xdeca)
+	cfg := SmallConfig()
+	model := New(cfg, r)
+	dec := DecoderFromCVAE(model)
+	z := tensor.New(16, cfg.Latent)
+	r.FillNormal(z.Data, 0, 1)
+	labels := make([]int, 16)
+	for i := range labels {
+		labels[i] = i % cfg.Classes
+	}
+	dec.Generate(z, labels) // warm up scratch
+	allocs := testing.AllocsPerRun(20, func() { dec.Generate(z, labels) })
+	if allocs > 0 {
+		t.Fatalf("steady-state Decoder.Generate allocates %.1f/op, want 0", allocs)
+	}
+}

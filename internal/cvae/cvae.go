@@ -258,6 +258,8 @@ func DecoderSize(cfg Config) int {
 type Decoder struct {
 	Cfg Config
 	net *nn.Sequential
+
+	decIn, img *tensor.Tensor // Generate scratch, reused across calls
 }
 
 // NewDecoder builds a decoder with the given architecture and loads the
@@ -283,6 +285,10 @@ func DecoderFromCVAE(m *CVAE) *Decoder {
 // Generate synthesizes one image per (z, label) pair. z must be
 // (B, Latent); the result is (B, Input) — the image portion of the
 // decoder output, with the trailing label-reconstruction lanes dropped.
+// The returned tensor is decoder-owned scratch, valid only until the
+// next Generate call on this decoder; callers that keep the images
+// (as FedGuard's synthesis loop does) must copy them out. A Decoder is
+// not safe for concurrent Generate calls.
 func (d *Decoder) Generate(z *tensor.Tensor, labels []int) *tensor.Tensor {
 	b := z.Dim(0)
 	cfg := d.Cfg
@@ -292,22 +298,25 @@ func (d *Decoder) Generate(z *tensor.Tensor, labels []int) *tensor.Tensor {
 	if len(labels) != b {
 		panic(fmt.Sprintf("cvae: %d labels for batch of %d", len(labels), b))
 	}
-	decIn := tensor.New(b, cfg.decIn())
+	d.decIn = tensor.Ensure(d.decIn, b, cfg.decIn())
 	for i := 0; i < b; i++ {
-		row := decIn.Data[i*cfg.decIn():]
+		row := d.decIn.Data[i*cfg.decIn() : (i+1)*cfg.decIn()]
 		copy(row[:cfg.Latent], z.Data[i*cfg.Latent:(i+1)*cfg.Latent])
+		for j := cfg.Latent; j < len(row); j++ {
+			row[j] = 0 // clear one-hot lanes left by the previous call
+		}
 		l := labels[i]
 		if l < 0 || l >= cfg.Classes {
 			panic(fmt.Sprintf("cvae: label %d out of range", l))
 		}
 		row[cfg.Latent+l] = 1
 	}
-	out := d.net.Forward(decIn, false)
-	img := tensor.New(b, cfg.Input)
+	out := d.net.Forward(d.decIn, false)
+	d.img = tensor.Ensure(d.img, b, cfg.Input)
 	for i := 0; i < b; i++ {
-		copy(img.Data[i*cfg.Input:(i+1)*cfg.Input], out.Data[i*cfg.cond():i*cfg.cond()+cfg.Input])
+		copy(d.img.Data[i*cfg.Input:(i+1)*cfg.Input], out.Data[i*cfg.cond():i*cfg.cond()+cfg.Input])
 	}
-	return img
+	return d.img
 }
 
 // Reconstruct runs a full encode-decode pass at the posterior mean (no

@@ -256,6 +256,100 @@ func TestFedGuardInnerOperatorSwap(t *testing.T) {
 	}
 }
 
+// auditDeterminismUpdates builds a round with distinct per-client
+// weights (noised benign copies plus two poison vectors) so the audit
+// accuracies genuinely differ across clients.
+func auditDeterminismUpdates(t *testing.T) ([]fl.Update, cvae.Config) {
+	t.Helper()
+	benign, dec, ccfg := buildFixture(t, rng.New(40))
+	updates := make([]fl.Update, 6)
+	for i := range updates {
+		w := append([]float32(nil), benign...)
+		switch {
+		case i >= 4: // poison
+			for j := range w {
+				w[j] = 1
+			}
+		case i > 0: // noised benign
+			noise := make([]float32, len(w))
+			rng.New(uint64(100 + i)).FillNormal(noise, 0, 0.01)
+			for j := range w {
+				w[j] += noise[j]
+			}
+		}
+		updates[i] = fl.Update{ClientID: i, Weights: w, NumSamples: 1, Decoder: dec}
+	}
+	return updates, ccfg
+}
+
+// TestFedGuardParallelAuditMatchesSerial pins the determinism contract
+// of the fan-out audit: for the same round context seed, Aggregate must
+// produce byte-identical weights and identical reports at any
+// AuditWorkers setting.
+func TestFedGuardParallelAuditMatchesSerial(t *testing.T) {
+	updates, ccfg := auditDeterminismUpdates(t)
+	runOnce := func(workers int) ([]float32, map[string]float64) {
+		g := NewFedGuard(classifier.Tiny(), ccfg)
+		g.Samples = 40
+		g.AuditWorkers = workers
+		ctx := ctxWith(updates, 41)
+		out, err := g.Aggregate(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out, ctx.Report
+	}
+	serialOut, serialReport := runOnce(1)
+	for _, workers := range []int{2, 4, 0} {
+		out, report := runOnce(workers)
+		if len(out) != len(serialOut) {
+			t.Fatalf("workers=%d: %d weights, serial %d", workers, len(out), len(serialOut))
+		}
+		for i := range out {
+			if out[i] != serialOut[i] {
+				t.Fatalf("workers=%d: weight %d differs: %v vs serial %v",
+					workers, i, out[i], serialOut[i])
+			}
+		}
+		for k, v := range serialReport {
+			if report[k] != v {
+				t.Fatalf("workers=%d: report[%q] = %v, serial %v", workers, k, report[k], v)
+			}
+		}
+	}
+}
+
+// TestFedGuardParallelSynthesizeMatchesSerial pins the same contract for
+// per-decoder synthesis fan-out: identical images and labels at any
+// worker count.
+func TestFedGuardParallelSynthesizeMatchesSerial(t *testing.T) {
+	updates, ccfg := auditDeterminismUpdates(t)
+	synth := func(workers int) ([]float32, []int) {
+		g := NewFedGuard(classifier.Tiny(), ccfg)
+		g.Samples = 50
+		g.AuditWorkers = workers
+		x, labels, err := g.Synthesize(ctxWith(updates, 42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return x.Data, labels
+	}
+	serialX, serialLabels := synth(1)
+	for _, workers := range []int{3, 0} {
+		x, labels := synth(workers)
+		for i := range serialLabels {
+			if labels[i] != serialLabels[i] {
+				t.Fatalf("workers=%d: label %d differs", workers, i)
+			}
+		}
+		for i := range serialX {
+			if x[i] != serialX[i] {
+				t.Fatalf("workers=%d: pixel %d differs: %v vs %v", workers, i, x[i], serialX[i])
+			}
+		}
+	}
+}
+
 func TestSpectralRequiresPretrain(t *testing.T) {
 	s := NewSpectral(classifier.Tiny())
 	if _, err := s.Aggregate(ctxWith([]fl.Update{{ClientID: 0, Weights: []float32{1}}}, 16)); err == nil {

@@ -6,6 +6,9 @@ package defense
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"fedguard/internal/aggregate"
 	"fedguard/internal/classifier"
@@ -53,8 +56,15 @@ type FedGuard struct {
 	UseDecoderClasses bool
 	// ImageH and ImageW shape the synthetic images for the classifier.
 	ImageH, ImageW int
+	// AuditWorkers bounds the goroutines used to score client updates and
+	// to run per-decoder synthesis. 0 means GOMAXPROCS; 1 forces the
+	// serial path. Any setting produces bit-identical results: accuracies
+	// land in an index-ordered slice and are reduced serially, every RNG
+	// draw happens before the parallel sections, and the workers write
+	// disjoint regions — parallelism changes only wall-clock time.
+	AuditWorkers int
 
-	auditModel *nn.Sequential // lazily built, reused across rounds
+	auditModels []*nn.Sequential // lazily built, one per worker, reused across rounds
 
 	// Per-client detection bookkeeping, accumulated across rounds.
 	excludedCount map[int]int
@@ -85,16 +95,17 @@ func (g *FedGuard) Aggregate(ctx *fl.RoundContext) ([]float32, error) {
 		return nil, err
 	}
 
-	// Score every update on the synthetic validation set (line 5).
+	// Score every update on the synthetic validation set (line 5). The
+	// audits are independent, so they fan out across AuditWorkers models;
+	// accs is index-ordered and the mean is reduced serially below, so the
+	// result does not depend on the worker count.
 	stopAudit := ctx.Telemetry.StartSpan("server.audit")
 	accs := make([]float64, len(updates))
+	if err := g.auditAll(updates, x, labels, accs); err != nil {
+		return nil, err
+	}
 	var mean float64
-	for i, u := range updates {
-		acc, err := g.audit(u.Weights, x, labels)
-		if err != nil {
-			return nil, err
-		}
-		accs[i] = acc
+	for _, acc := range accs {
 		mean += acc
 	}
 	mean /= float64(len(updates)) // line 6
@@ -183,15 +194,20 @@ func (g *FedGuard) Synthesize(ctx *fl.RoundContext) (*tensor.Tensor, []int, erro
 	}
 	nd := len(decoders)
 	assign := g.assignSamples(labels, nd, decoderClasses)
-	for d := 0; d < nd; d++ {
-		var idxs []int
-		for i, a := range assign {
-			if a == d {
-				idxs = append(idxs, i)
-			}
-		}
+	perDec := make([][]int, nd)
+	for i, a := range assign {
+		perDec[a] = append(perDec[a], i)
+	}
+
+	// Per-decoder generation is independent: every RNG draw already
+	// happened above, each decoder instance owns its Generate scratch, and
+	// assign partitions the sample indices so the goroutines write
+	// disjoint regions of x. The result is therefore bit-identical at any
+	// worker count.
+	synthOne := func(d int) {
+		idxs := perDec[d]
 		if len(idxs) == 0 {
-			continue
+			return
 		}
 		zd := tensor.New(len(idxs), g.CVAECfg.Latent)
 		ld := make([]int, len(idxs))
@@ -204,6 +220,28 @@ func (g *FedGuard) Synthesize(ctx *fl.RoundContext) (*tensor.Tensor, []int, erro
 		for k, i := range idxs {
 			copy(x.Data[i*imgSize:(i+1)*imgSize], imgs.Data[k*imgSize:(k+1)*imgSize])
 		}
+	}
+	if w := g.workers(nd); w == 1 {
+		for d := 0; d < nd; d++ {
+			synthOne(d)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for wk := 0; wk < w; wk++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					d := int(next.Add(1)) - 1
+					if d >= nd {
+						return
+					}
+					synthOne(d)
+				}
+			}()
+		}
+		wg.Wait()
 	}
 	return x, labels, nil
 }
@@ -280,14 +318,71 @@ func (g *FedGuard) activeDecoders(ctx *fl.RoundContext) ([]*cvae.Decoder, [][]in
 	return decoders, classes, nil
 }
 
-// audit loads an update into the (cached) audit model and returns its
-// accuracy on the synthetic set.
-func (g *FedGuard) audit(weights []float32, x *tensor.Tensor, labels []int) (float64, error) {
-	if g.auditModel == nil {
-		g.auditModel = g.Arch(newInitRNG())
+// workers resolves AuditWorkers against the machine, capped by the
+// amount of independent work available.
+func (g *FedGuard) workers(jobs int) int {
+	w := g.AuditWorkers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
 	}
-	if err := g.auditModel.LoadParams(weights); err != nil {
-		return 0, fmt.Errorf("defense: audit: %w", err)
+	if w > jobs {
+		w = jobs
 	}
-	return classifier.EvaluateTensor(g.auditModel, x, labels), nil
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// auditAll scores every update on the synthetic set, writing accs[i] for
+// update i. Workers claim indices from an atomic counter and each owns a
+// private audit model (network scratch is per-model, so concurrent
+// forward passes never share state); since every accuracy lands in its
+// own slot, the slice is identical whatever the worker count.
+func (g *FedGuard) auditAll(updates []fl.Update, x *tensor.Tensor, labels []int, accs []float64) error {
+	w := g.workers(len(updates))
+	for len(g.auditModels) < w {
+		g.auditModels = append(g.auditModels, g.Arch(newInitRNG()))
+	}
+	auditOne := func(model *nn.Sequential, i int) error {
+		if err := model.LoadParams(updates[i].Weights); err != nil {
+			return fmt.Errorf("defense: audit client %d: %w", updates[i].ClientID, err)
+		}
+		accs[i] = classifier.EvaluateTensor(model, x, labels)
+		return nil
+	}
+	if w == 1 {
+		for i := range updates {
+			if err := auditOne(g.auditModels[0], i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var next atomic.Int64
+	errs := make([]error, w)
+	var wg sync.WaitGroup
+	for wk := 0; wk < w; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(updates) {
+					return
+				}
+				if err := auditOne(g.auditModels[wk], i); err != nil {
+					errs[wk] = err
+					return
+				}
+			}
+		}(wk)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }

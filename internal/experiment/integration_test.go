@@ -4,6 +4,40 @@ import (
 	"testing"
 )
 
+// TestIntegrationFedGuardAuditWorkersDeterminism pins the end-to-end
+// determinism contract of the parallel audit: a fixed-seed quick-preset
+// FedGuard federation must produce byte-identical FinalWeights whether
+// the server audits updates serially or across a worker pool.
+func TestIntegrationFedGuardAuditWorkersDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	setup := MustSetup(PresetQuick)
+	sc, _ := ScenarioByID("sign-flip-50")
+	run := func(workers int) []float32 {
+		g := newFedGuard(setup, nil)
+		g.AuditWorkers = workers
+		res, err := Run(setup, sc, "FedGuard", RunOptions{Strategy: g})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.History.FinalWeights) == 0 {
+			t.Fatal("no final weights recorded")
+		}
+		return res.History.FinalWeights
+	}
+	serial := run(1)
+	parallel := run(4)
+	if len(serial) != len(parallel) {
+		t.Fatalf("weight counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("FinalWeights[%d] differs: serial %v, parallel %v", i, serial[i], parallel[i])
+		}
+	}
+}
+
 // These tests reproduce the paper's qualitative claims end-to-end at
 // quick-preset scale: under majority model-poisoning attacks the
 // undefended baseline collapses to chance while FedGuard stays close to

@@ -35,6 +35,10 @@ type RunOptions struct {
 	// Telemetry, when non-nil, receives the run's structured events and
 	// phase-level metrics (threaded into fl.FederationConfig).
 	Telemetry *telemetry.T
+	// Strategy, when non-nil, is used instead of resolving strategyName
+	// through the registry — for runs that need a specially configured
+	// strategy instance (the name still labels the result).
+	Strategy fl.Strategy
 }
 
 // Run executes one (setup, scenario, strategy) cell and returns its
@@ -44,9 +48,12 @@ func Run(setup Setup, sc Scenario, strategyName string, opts RunOptions) (*Resul
 	if err != nil {
 		return nil, err
 	}
-	strat, err := NewStrategy(strategyName, setup)
-	if err != nil {
-		return nil, err
+	strat := opts.Strategy
+	if strat == nil {
+		strat, err = NewStrategy(strategyName, setup)
+		if err != nil {
+			return nil, err
+		}
 	}
 	train, test, _ := setup.Data()
 

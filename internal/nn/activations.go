@@ -7,9 +7,26 @@ import (
 	"fedguard/internal/tensor"
 )
 
+// Activation layers keep their output and input-gradient tensors as
+// layer-owned scratch, grown on demand (tensor.Ensure) and reused across
+// steps so the steady-state training loop allocates nothing here. The
+// returned tensors are valid only until the next call on the same layer
+// — the package contract (see the package comment) that a layer instance
+// is never shared between concurrent training loops makes this safe.
+
+// ensureBoolMask grows a []bool scratch slice to n, reusing capacity.
+func ensureBoolMask(mask []bool, n int) []bool {
+	if cap(mask) >= n {
+		return mask[:n]
+	}
+	return make([]bool, n)
+}
+
 // ReLU is the rectified linear activation, y = max(0, x).
 type ReLU struct {
 	mask []bool
+	y    *tensor.Tensor
+	dx   *tensor.Tensor
 }
 
 // NewReLU constructs a ReLU activation.
@@ -17,26 +34,31 @@ func NewReLU() *ReLU { return &ReLU{} }
 
 // Forward applies max(0, x) element-wise.
 func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	y := tensor.New(x.Shape()...)
-	r.mask = make([]bool, x.Len())
+	r.y = tensor.Ensure(r.y, x.Shape()...)
+	r.mask = ensureBoolMask(r.mask, x.Len())
 	for i, v := range x.Data {
 		if v > 0 {
-			y.Data[i] = v
+			r.y.Data[i] = v
 			r.mask[i] = true
+		} else {
+			r.y.Data[i] = 0
+			r.mask[i] = false
 		}
 	}
-	return y
+	return r.y
 }
 
 // Backward zeroes gradients where the forward input was non-positive.
 func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	dx := tensor.New(grad.Shape()...)
+	r.dx = tensor.Ensure(r.dx, grad.Shape()...)
 	for i, g := range grad.Data {
 		if r.mask[i] {
-			dx.Data[i] = g
+			r.dx.Data[i] = g
+		} else {
+			r.dx.Data[i] = 0
 		}
 	}
-	return dx
+	return r.dx
 }
 
 // Params returns nil.
@@ -48,7 +70,8 @@ func (r *ReLU) Name() string { return "ReLU" }
 // Sigmoid is the logistic activation, y = 1/(1+e^-x). The paper's CVAE
 // decoder ends in a sigmoid so outputs are valid pixel intensities.
 type Sigmoid struct {
-	y *tensor.Tensor
+	y  *tensor.Tensor
+	dx *tensor.Tensor
 }
 
 // NewSigmoid constructs a sigmoid activation.
@@ -56,22 +79,21 @@ func NewSigmoid() *Sigmoid { return &Sigmoid{} }
 
 // Forward applies the logistic function element-wise.
 func (s *Sigmoid) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	y := tensor.New(x.Shape()...)
+	s.y = tensor.Ensure(s.y, x.Shape()...)
 	for i, v := range x.Data {
-		y.Data[i] = float32(1 / (1 + math.Exp(-float64(v))))
+		s.y.Data[i] = float32(1 / (1 + math.Exp(-float64(v))))
 	}
-	s.y = y
-	return y
+	return s.y
 }
 
 // Backward uses dy/dx = y(1-y).
 func (s *Sigmoid) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	dx := tensor.New(grad.Shape()...)
+	s.dx = tensor.Ensure(s.dx, grad.Shape()...)
 	for i, g := range grad.Data {
 		y := s.y.Data[i]
-		dx.Data[i] = g * y * (1 - y)
+		s.dx.Data[i] = g * y * (1 - y)
 	}
-	return dx
+	return s.dx
 }
 
 // Params returns nil.
@@ -82,7 +104,8 @@ func (s *Sigmoid) Name() string { return "Sigmoid" }
 
 // Tanh is the hyperbolic tangent activation.
 type Tanh struct {
-	y *tensor.Tensor
+	y  *tensor.Tensor
+	dx *tensor.Tensor
 }
 
 // NewTanh constructs a tanh activation.
@@ -90,22 +113,21 @@ func NewTanh() *Tanh { return &Tanh{} }
 
 // Forward applies tanh element-wise.
 func (t *Tanh) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	y := tensor.New(x.Shape()...)
+	t.y = tensor.Ensure(t.y, x.Shape()...)
 	for i, v := range x.Data {
-		y.Data[i] = float32(math.Tanh(float64(v)))
+		t.y.Data[i] = float32(math.Tanh(float64(v)))
 	}
-	t.y = y
-	return y
+	return t.y
 }
 
 // Backward uses dy/dx = 1 - y².
 func (t *Tanh) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	dx := tensor.New(grad.Shape()...)
+	t.dx = tensor.Ensure(t.dx, grad.Shape()...)
 	for i, g := range grad.Data {
 		y := t.y.Data[i]
-		dx.Data[i] = g * (1 - y*y)
+		t.dx.Data[i] = g * (1 - y*y)
 	}
-	return dx
+	return t.dx
 }
 
 // Params returns nil.
@@ -119,7 +141,8 @@ func (t *Tanh) Name() string { return "Tanh" }
 // loss; this layer exists for inference-time probability output and for
 // architectures that genuinely need an in-network softmax.
 type Softmax struct {
-	y *tensor.Tensor
+	y  *tensor.Tensor
+	dx *tensor.Tensor
 }
 
 // NewSoftmax constructs a softmax layer.
@@ -128,12 +151,11 @@ func NewSoftmax() *Softmax { return &Softmax{} }
 // Forward computes a numerically stable row-wise softmax.
 func (s *Softmax) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	b, n := x.Dim(0), x.Dim(1)
-	y := tensor.New(b, n)
+	s.y = tensor.Ensure(s.y, b, n)
 	for i := 0; i < b; i++ {
-		SoftmaxRow(y.Data[i*n:(i+1)*n], x.Data[i*n:(i+1)*n])
+		SoftmaxRow(s.y.Data[i*n:(i+1)*n], x.Data[i*n:(i+1)*n])
 	}
-	s.y = y
-	return y
+	return s.y
 }
 
 // SoftmaxRow writes softmax(src) into dst with max-subtraction for
@@ -160,7 +182,7 @@ func SoftmaxRow(dst, src []float32) {
 // Backward applies the softmax Jacobian: dx = y ⊙ (g - <g, y>) row-wise.
 func (s *Softmax) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	b, n := grad.Dim(0), grad.Dim(1)
-	dx := tensor.New(b, n)
+	s.dx = tensor.Ensure(s.dx, b, n)
 	for i := 0; i < b; i++ {
 		g := grad.Data[i*n : (i+1)*n]
 		y := s.y.Data[i*n : (i+1)*n]
@@ -169,10 +191,10 @@ func (s *Softmax) Backward(grad *tensor.Tensor) *tensor.Tensor {
 			dot += float64(g[j]) * float64(y[j])
 		}
 		for j := range g {
-			dx.Data[i*n+j] = y[j] * (g[j] - float32(dot))
+			s.dx.Data[i*n+j] = y[j] * (g[j] - float32(dot))
 		}
 	}
-	return dx
+	return s.dx
 }
 
 // Params returns nil.
@@ -189,6 +211,8 @@ type Dropout struct {
 	rng *rng.RNG
 
 	mask []float32
+	y    *tensor.Tensor
+	dx   *tensor.Tensor
 }
 
 // NewDropout constructs a dropout layer with drop probability p using
@@ -206,16 +230,23 @@ func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		d.mask = nil
 		return x
 	}
-	y := tensor.New(x.Shape()...)
-	d.mask = make([]float32, x.Len())
+	d.y = tensor.Ensure(d.y, x.Shape()...)
+	if cap(d.mask) >= x.Len() {
+		d.mask = d.mask[:x.Len()]
+	} else {
+		d.mask = make([]float32, x.Len())
+	}
 	scale := float32(1 / (1 - d.P))
 	for i, v := range x.Data {
 		if d.rng.Float64() >= d.P {
 			d.mask[i] = scale
-			y.Data[i] = v * scale
+			d.y.Data[i] = v * scale
+		} else {
+			d.mask[i] = 0
+			d.y.Data[i] = 0
 		}
 	}
-	return y
+	return d.y
 }
 
 // Backward applies the same mask to the gradient.
@@ -223,11 +254,11 @@ func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if d.mask == nil {
 		return grad
 	}
-	dx := tensor.New(grad.Shape()...)
+	d.dx = tensor.Ensure(d.dx, grad.Shape()...)
 	for i, g := range grad.Data {
-		dx.Data[i] = g * d.mask[i]
+		d.dx.Data[i] = g * d.mask[i]
 	}
-	return dx
+	return d.dx
 }
 
 // Params returns nil.

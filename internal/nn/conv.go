@@ -12,17 +12,41 @@ import (
 // used by the paper's MNIST classifier, Table II). Filters have shape
 // (outC, inC*kh*kw); inputs have shape (B, inC, H, W).
 //
-// The forward pass lowers each image to an im2col matrix and multiplies
-// by the filter matrix; the backward pass uses the matching col2im
-// scatter.
+// The forward pass lowers the whole batch into one im2col matrix and
+// multiplies by the filter matrix in a single large matmul; the backward
+// pass computes the input gradient per image straight from the
+// channel-major gradient blocks and scatters it with one batched col2im.
+// Filter gradients are accumulated per image (dW += gradᵢ @ colsᵢ) so
+// the partial-sum association — and therefore every bit of the gradient
+// — matches the original per-image path exactly.
+//
+// All work tensors are layer-owned scratch, grown on demand and reused
+// across steps: steady-state training allocates nothing here. The
+// tensors returned by Forward and Backward are part of that scratch and
+// remain valid only until the next call on this layer.
 type Conv2D struct {
 	InC, OutC, KH, KW int
 	W                 *tensor.Tensor // (outC, inC*kh*kw)
 	B                 *tensor.Tensor // (outC)
 	dW, dB            *tensor.Tensor
 
-	x    *tensor.Tensor   // retained input
-	cols []*tensor.Tensor // retained im2col matrices, one per batch item
+	// InputGradOff, when set, makes Backward skip the input-gradient
+	// computation (the dCols matmul and col2im scatter) and return nil.
+	// Set it on a network's first layer, whose input gradient nobody
+	// consumes; parameter gradients are unaffected, so training results
+	// are bit-identical with the flag on or off.
+	InputGradOff bool
+
+	x *tensor.Tensor // retained input
+
+	cols  *tensor.Tensor // (B*outH*outW, inC*kh*kw) batched im2col
+	prod  *tensor.Tensor // (B*outH*outW, outC) cols @ Wᵀ
+	wT    *tensor.Tensor // (inC*kh*kw, outC) transposed-filter scratch
+	y     *tensor.Tensor // (B, outC, outH, outW)
+	dCols *tensor.Tensor // (B*outH*outW, inC*kh*kw)
+	dx    *tensor.Tensor // (B, inC, H, W)
+
+	gView, colsView, dColsView tensor.Tensor // reusable per-image view headers
 }
 
 // NewConv2D constructs a convolution layer with He-uniform weight
@@ -44,7 +68,8 @@ func NewConv2D(inC, outC, kh, kw int, r *rng.RNG) *Conv2D {
 func (c *Conv2D) outDims(h, w int) (int, int) { return h - c.KH + 1, w - c.KW + 1 }
 
 // Forward computes the convolution of a (B, inC, H, W) batch, producing
-// (B, outC, outH, outW).
+// (B, outC, outH, outW). The returned tensor is layer scratch, valid
+// until the next Forward call.
 func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if x.Rank() != 4 || x.Dim(1) != c.InC {
 		panic(fmt.Sprintf("nn: %s got input shape %v", c.Name(), x.Shape()))
@@ -55,33 +80,46 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: %s kernel larger than input (%d,%d)", c.Name(), h, w))
 	}
 	c.x = x
-	c.cols = make([]*tensor.Tensor, b)
 	fanIn := c.InC * c.KH * c.KW
-	y := tensor.New(b, c.OutC, outH, outW)
-	imgVol := c.InC * h * w
-	outVol := c.OutC * outH * outW
+	oHW := outH * outW
+
+	c.cols = tensor.Ensure(c.cols, b*oHW, fanIn)
+	tensor.Im2ColBatch(c.cols, x, c.KH, c.KW)
+
+	// prod (B*oHW, outC) = cols @ Wᵀ — one large matmul for the whole
+	// batch. Each output element is the same fanIn-term dot product the
+	// per-image path computed, so the result is bit-identical; on the
+	// SIMD path a transposed-filter scratch turns it into the
+	// vector-friendly plain product (same ascending-fanIn sums).
+	c.prod = tensor.Ensure(c.prod, b*oHW, c.OutC)
+	if tensor.HasVectorKernels() {
+		c.wT = tensor.Ensure(c.wT, fanIn, c.OutC)
+		tensor.TransposeInto(c.wT, c.W)
+		tensor.MatMul(c.prod, c.cols, c.wT)
+	} else {
+		tensor.MatMulT(c.prod, c.cols, c.W)
+	}
+
+	// Transpose each image's (oHW, outC) block into channel-major layout
+	// and add the bias.
+	c.y = tensor.Ensure(c.y, b, c.OutC, outH, outW)
+	outVol := c.OutC * oHW
 	for i := 0; i < b; i++ {
-		img := tensor.FromSlice(x.Data[i*imgVol:(i+1)*imgVol], c.InC, h, w)
-		cols := tensor.New(outH*outW, fanIn)
-		tensor.Im2Col(cols, img, c.KH, c.KW)
-		c.cols[i] = cols
-		// out (outC, outH*outW) = W (outC, fanIn) @ colsᵀ — computed as
-		// cols @ Wᵀ giving (outH*outW, outC), then transposed into place.
-		prod := tensor.New(outH*outW, c.OutC)
-		tensor.MatMulT(prod, cols, c.W)
-		dst := y.Data[i*outVol : (i+1)*outVol]
-		for p := 0; p < outH*outW; p++ {
-			row := prod.Data[p*c.OutC : (p+1)*c.OutC]
+		dst := c.y.Data[i*outVol : (i+1)*outVol]
+		src := c.prod.Data[i*oHW*c.OutC:]
+		for p := 0; p < oHW; p++ {
+			row := src[p*c.OutC : (p+1)*c.OutC]
 			for ch, v := range row {
-				dst[ch*outH*outW+p] = v + c.B.Data[ch]
+				dst[ch*oHW+p] = v + c.B.Data[ch]
 			}
 		}
 	}
-	return y
+	return c.y
 }
 
 // Backward accumulates filter/bias gradients and returns the gradient
-// w.r.t. the input batch.
+// w.r.t. the input batch. The returned tensor is layer scratch, valid
+// until the next Backward call.
 func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	b := grad.Dim(0)
 	h, w := c.x.Dim(2), c.x.Dim(3)
@@ -90,33 +128,46 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: %s got gradient shape %v", c.Name(), grad.Shape()))
 	}
 	fanIn := c.InC * c.KH * c.KW
-	imgVol := c.InC * h * w
-	outVol := c.OutC * outH * outW
-	dx := tensor.New(b, c.InC, h, w)
-	// Per-sample: gradMat (outH*outW, outC) from the channel-major grad.
+	oHW := outH * outW
+	outVol := c.OutC * oHW
+
+	// Per image, the incoming gradient block is already channel-major
+	// (outC, oHW) — exactly the left operand both gradient products
+	// need, so no transpose buffer is built. dB sums each contiguous
+	// channel row; dW += gradᵢ @ colsᵢ accumulates per image so the
+	// partial-sum association (and therefore every bit of the gradient)
+	// matches the original per-image path; dColsᵢ = gradᵢᵀ @ W sums over
+	// channels in the same ascending order the batched product would.
+	// The Bind views avoid any per-image allocation.
+	if !c.InputGradOff {
+		c.dCols = tensor.Ensure(c.dCols, b*oHW, fanIn)
+	}
 	for i := 0; i < b; i++ {
 		g := grad.Data[i*outVol : (i+1)*outVol]
-		gm := tensor.New(outH*outW, c.OutC)
 		for ch := 0; ch < c.OutC; ch++ {
-			col := g[ch*outH*outW : (ch+1)*outH*outW]
+			row := g[ch*oHW : (ch+1)*oHW]
 			var chSum float32
-			for p, v := range col {
-				gm.Data[p*c.OutC+ch] = v
+			for _, v := range row {
 				chSum += v
 			}
 			c.dB.Data[ch] += chSum
 		}
-		// dW += gmᵀ @ cols  -> (outC, fanIn)
-		dW := tensor.New(c.OutC, fanIn)
-		tensor.MatMulTA(dW, gm, c.cols[i])
-		tensor.AXPY(c.dW, 1, dW)
-		// dCols = gm @ W -> (outH*outW, fanIn), scattered back to image.
-		dCols := tensor.New(outH*outW, fanIn)
-		tensor.MatMul(dCols, gm, c.W)
-		dImg := tensor.FromSlice(dx.Data[i*imgVol:(i+1)*imgVol], c.InC, h, w)
-		tensor.Col2Im(dImg, dCols, c.KH, c.KW)
+		c.gView.Bind(g, c.OutC, oHW)
+		c.colsView.Bind(c.cols.Data[i*oHW*fanIn:], oHW, fanIn)
+		tensor.MatMulAcc(c.dW, &c.gView, &c.colsView)
+		if !c.InputGradOff {
+			c.dColsView.Bind(c.dCols.Data[i*oHW*fanIn:], oHW, fanIn)
+			tensor.MatMulTA(&c.dColsView, &c.gView, c.W)
+		}
 	}
-	return dx
+
+	if c.InputGradOff {
+		return nil
+	}
+
+	c.dx = tensor.Ensure(c.dx, b, c.InC, h, w)
+	tensor.Col2ImBatch(c.dx, c.dCols, c.KH, c.KW)
+	return c.dx
 }
 
 // Params returns the filter and bias with their gradients.

@@ -9,13 +9,18 @@ import (
 )
 
 // Linear is a fully connected layer: y = x @ Wᵀ + b, with W of shape
-// (out, in) and x of shape (B, in).
+// (out, in) and x of shape (B, in). Output and input-gradient tensors
+// are layer-owned scratch reused across steps; they remain valid only
+// until the next call on this layer.
 type Linear struct {
 	In, Out int
 	W, B    *tensor.Tensor
 	dW, dB  *tensor.Tensor
 
-	x *tensor.Tensor // retained input for backward
+	x  *tensor.Tensor // retained input for backward
+	y  *tensor.Tensor // forward scratch
+	dx *tensor.Tensor // backward scratch
+	wT *tensor.Tensor // transposed-weight scratch for the vector kernels
 }
 
 // NewLinear constructs a fully connected layer with He-uniform
@@ -41,15 +46,24 @@ func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	l.x = x
 	b := x.Dim(0)
-	y := tensor.New(b, l.Out)
-	tensor.MatMulT(y, x, l.W)
+	l.y = tensor.Ensure(l.y, b, l.Out)
+	if tensor.HasVectorKernels() {
+		// x @ Wᵀ as a plain product against a transposed-weight scratch:
+		// the O(in·out) transpose buys the SIMD kernel for the O(B·in·out)
+		// matmul. Both forms sum over in ascending — bit-identical.
+		l.wT = tensor.Ensure(l.wT, l.In, l.Out)
+		tensor.TransposeInto(l.wT, l.W)
+		tensor.MatMul(l.y, x, l.wT)
+	} else {
+		tensor.MatMulT(l.y, x, l.W)
+	}
 	for i := 0; i < b; i++ {
-		row := y.Data[i*l.Out : (i+1)*l.Out]
+		row := l.y.Data[i*l.Out : (i+1)*l.Out]
 		for j := range row {
 			row[j] += l.B.Data[j]
 		}
 	}
-	return y
+	return l.y
 }
 
 // Backward accumulates dW += gradᵀ @ x and dB += colsum(grad), returning
@@ -59,19 +73,18 @@ func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if grad.Dim(1) != l.Out {
 		panic(fmt.Sprintf("nn: Linear(%d->%d) got gradient shape %v", l.In, l.Out, grad.Shape()))
 	}
-	// dW[j][k] += sum_i grad[i][j] * x[i][k]
-	dW := tensor.New(l.Out, l.In)
-	tensor.MatMulTA(dW, grad, l.x)
-	tensor.AXPY(l.dW, 1, dW)
+	// dW[j][k] += sum_i grad[i][j] * x[i][k], accumulated in place — no
+	// scratch tensor, bit-identical to the scratch-plus-AXPY formulation.
+	tensor.MatMulTAAcc(l.dW, grad, l.x)
 	for i := 0; i < b; i++ {
 		row := grad.Data[i*l.Out : (i+1)*l.Out]
 		for j, g := range row {
 			l.dB.Data[j] += g
 		}
 	}
-	dx := tensor.New(b, l.In)
-	tensor.MatMul(dx, grad, l.W)
-	return dx
+	l.dx = tensor.Ensure(l.dx, b, l.In)
+	tensor.MatMul(l.dx, grad, l.W)
+	return l.dx
 }
 
 // Params returns the weight and bias with their gradients.

@@ -9,6 +9,14 @@
 // activations their backward pass needs, so a single layer instance must
 // not be shared between concurrent training loops; federated clients each
 // build their own model from a shared architecture function.
+//
+// Buffer-reuse contract: layers own their output, gradient, and work
+// tensors as scratch that is grown on demand and reused across steps, so
+// a steady-state train loop performs no per-step layer allocations. The
+// tensor a Forward or Backward call returns is therefore valid only
+// until the next call of the same method on that layer instance; callers
+// that need a result to survive (e.g. to ship it over the wire) must
+// copy it out, as FlattenParams already does.
 package nn
 
 import (

@@ -9,12 +9,15 @@ import (
 // MaxPool2D is a non-overlapping max pooling layer with a (PH, PW) window
 // and equal stride. Inputs of shape (B, C, H, W) produce
 // (B, C, H/PH, W/PW); trailing rows/columns that do not fill a window are
-// dropped (floor division), matching the paper's 2×2 pools.
+// dropped (floor division), matching the paper's 2×2 pools. Output and
+// gradient tensors are layer scratch reused across steps.
 type MaxPool2D struct {
 	PH, PW int
 
 	inShape []int
 	argmax  []int // flat input index of each output element
+	y       *tensor.Tensor
+	dx      *tensor.Tensor
 }
 
 // NewMaxPool2D constructs a pooling layer with the given window.
@@ -36,9 +39,13 @@ func (m *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if outH == 0 || outW == 0 {
 		panic(fmt.Sprintf("nn: %s window larger than input (%d,%d)", m.Name(), h, w))
 	}
-	m.inShape = []int{b, c, h, w}
-	y := tensor.New(b, c, outH, outW)
-	m.argmax = make([]int, y.Len())
+	m.inShape = append(m.inShape[:0], b, c, h, w)
+	m.y = tensor.Ensure(m.y, b, c, outH, outW)
+	if cap(m.argmax) >= m.y.Len() {
+		m.argmax = m.argmax[:m.y.Len()]
+	} else {
+		m.argmax = make([]int, m.y.Len())
+	}
 	for i := 0; i < b; i++ {
 		for ch := 0; ch < c; ch++ {
 			base := (i*c + ch) * h * w
@@ -57,13 +64,13 @@ func (m *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 						}
 					}
 					out := outBase + oy*outW + ox
-					y.Data[out] = best
+					m.y.Data[out] = best
 					m.argmax[out] = bestIdx
 				}
 			}
 		}
 	}
-	return y
+	return m.y
 }
 
 // Backward routes each output gradient to the input position that won the
@@ -72,11 +79,12 @@ func (m *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if grad.Len() != len(m.argmax) {
 		panic(fmt.Sprintf("nn: %s gradient length %d, want %d", m.Name(), grad.Len(), len(m.argmax)))
 	}
-	dx := tensor.New(m.inShape...)
+	m.dx = tensor.Ensure(m.dx, m.inShape...)
+	m.dx.Zero()
 	for i, g := range grad.Data {
-		dx.Data[m.argmax[i]] += g
+		m.dx.Data[m.argmax[i]] += g
 	}
-	return dx
+	return m.dx
 }
 
 // Params returns nil: pooling has no learnable parameters.
@@ -86,9 +94,11 @@ func (m *MaxPool2D) Params() []Param { return nil }
 func (m *MaxPool2D) Name() string { return fmt.Sprintf("MaxPool2D(%dx%d)", m.PH, m.PW) }
 
 // Flatten reshapes (B, ...) to (B, rest) for the transition from spatial
-// to dense layers.
+// to dense layers. The forward and backward results are allocation-free
+// views over the argument's storage, held in reusable headers.
 type Flatten struct {
 	inShape []int
+	y, dx   tensor.Tensor
 }
 
 // NewFlatten constructs a flatten layer.
@@ -96,13 +106,15 @@ func NewFlatten() *Flatten { return &Flatten{} }
 
 // Forward flattens all non-batch dimensions.
 func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	f.inShape = append([]int(nil), x.Shape()...)
-	return x.Reshape(x.Dim(0), -1)
+	f.inShape = append(f.inShape[:0], x.Shape()...)
+	f.y.Bind(x.Data, x.Dim(0), x.Len()/x.Dim(0))
+	return &f.y
 }
 
 // Backward restores the original spatial shape.
 func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	return grad.Reshape(f.inShape...)
+	f.dx.Bind(grad.Data, f.inShape...)
+	return &f.dx
 }
 
 // Params returns nil.

@@ -22,11 +22,39 @@ func Im2Col(dst, img *Tensor, kh, kw int) {
 	if dst.Dim(0) != outH*outW || dst.Dim(1) != cols {
 		panic(fmt.Sprintf("tensor: Im2Col dst shape %v, want (%d,%d)", dst.Shape(), outH*outW, cols))
 	}
-	d := dst.Data
-	src := img.Data
+	im2colImage(dst.Data, img.Data, c, h, w, kh, kw)
+}
+
+// Im2ColBatch lowers an entire (B, C, H, W) batch into one
+// (B*outH*outW, C*kh*kw) matrix: rows [i·outH·outW, (i+1)·outH·outW)
+// hold image i's im2col rows. Convolving the whole batch then costs one
+// large matrix multiply instead of B small ones.
+func Im2ColBatch(dst, x *Tensor, kh, kw int) {
+	if x.Rank() != 4 {
+		panic("tensor: Im2ColBatch requires a (B,C,H,W) batch")
+	}
+	b, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	outH, outW := h-kh+1, w-kw+1
+	if outH <= 0 || outW <= 0 {
+		panic(fmt.Sprintf("tensor: Im2ColBatch kernel (%d,%d) larger than image (%d,%d)", kh, kw, h, w))
+	}
+	cols := c * kh * kw
+	if dst.Dim(0) != b*outH*outW || dst.Dim(1) != cols {
+		panic(fmt.Sprintf("tensor: Im2ColBatch dst shape %v, want (%d,%d)", dst.Shape(), b*outH*outW, cols))
+	}
+	imgVol := c * h * w
+	rowVol := outH * outW * cols
+	for i := 0; i < b; i++ {
+		im2colImage(dst.Data[i*rowVol:(i+1)*rowVol], x.Data[i*imgVol:(i+1)*imgVol], c, h, w, kh, kw)
+	}
+}
+
+func im2colImage(dst, src []float32, c, h, w, kh, kw int) {
+	outH, outW := h-kh+1, w-kw+1
+	cols := c * kh * kw
 	for oy := 0; oy < outH; oy++ {
 		for ox := 0; ox < outW; ox++ {
-			row := d[(oy*outW+ox)*cols:]
+			row := dst[(oy*outW+ox)*cols:]
 			idx := 0
 			for ch := 0; ch < c; ch++ {
 				base := ch * h * w
@@ -55,8 +83,33 @@ func Col2Im(dst, cols *Tensor, kh, kw int) {
 		panic(fmt.Sprintf("tensor: Col2Im cols shape %v, want (%d,%d)", cols.Shape(), outH*outW, nCols))
 	}
 	dst.Zero()
-	d := dst.Data
-	src := cols.Data
+	col2imImage(dst.Data, cols.Data, c, h, w, kh, kw)
+}
+
+// Col2ImBatch is the batched adjoint of Im2ColBatch: cols has shape
+// (B*outH*outW, C*kh*kw) and dst has shape (B, C, H, W). dst is zeroed
+// first.
+func Col2ImBatch(dst, cols *Tensor, kh, kw int) {
+	if dst.Rank() != 4 {
+		panic("tensor: Col2ImBatch requires a (B,C,H,W) destination")
+	}
+	b, c, h, w := dst.Dim(0), dst.Dim(1), dst.Dim(2), dst.Dim(3)
+	outH, outW := h-kh+1, w-kw+1
+	nCols := c * kh * kw
+	if cols.Dim(0) != b*outH*outW || cols.Dim(1) != nCols {
+		panic(fmt.Sprintf("tensor: Col2ImBatch cols shape %v, want (%d,%d)", cols.Shape(), b*outH*outW, nCols))
+	}
+	dst.Zero()
+	imgVol := c * h * w
+	rowVol := outH * outW * nCols
+	for i := 0; i < b; i++ {
+		col2imImage(dst.Data[i*imgVol:(i+1)*imgVol], cols.Data[i*rowVol:(i+1)*rowVol], c, h, w, kh, kw)
+	}
+}
+
+func col2imImage(dst, src []float32, c, h, w, kh, kw int) {
+	outH, outW := h-kh+1, w-kw+1
+	nCols := c * kh * kw
 	for oy := 0; oy < outH; oy++ {
 		for ox := 0; ox < outW; ox++ {
 			row := src[(oy*outW+ox)*nCols:]
@@ -64,7 +117,7 @@ func Col2Im(dst, cols *Tensor, kh, kw int) {
 			for ch := 0; ch < c; ch++ {
 				base := ch * h * w
 				for ky := 0; ky < kh; ky++ {
-					dstRow := d[base+(oy+ky)*w+ox:]
+					dstRow := dst[base+(oy+ky)*w+ox:]
 					for kx := 0; kx < kw; kx++ {
 						dstRow[kx] += row[idx]
 						idx++

@@ -1,0 +1,285 @@
+package tensor
+
+import (
+	"fmt"
+	"testing"
+
+	"fedguard/internal/rng"
+)
+
+// naiveMatMul is the reference triple loop: each output element is one
+// float32 accumulator updated in ascending-p order. The production
+// kernels must match it bit-for-bit (see the summation-order contract in
+// matmul.go).
+func naiveMatMul(dst, a, b *Tensor) {
+	m, k, n := a.Dim(0), a.Dim(1), b.Dim(1)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var acc float32
+			for p := 0; p < k; p++ {
+				acc += a.Data[i*k+p] * b.Data[p*n+j]
+			}
+			dst.Data[i*n+j] = acc
+		}
+	}
+}
+
+func naiveMatMulT(dst, a, b *Tensor) {
+	m, k, n := a.Dim(0), a.Dim(1), b.Dim(0)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var acc float32
+			for p := 0; p < k; p++ {
+				acc += a.Data[i*k+p] * b.Data[j*k+p]
+			}
+			dst.Data[i*n+j] = acc
+		}
+	}
+}
+
+func naiveMatMulTA(dst, a, b *Tensor) {
+	k, m, n := a.Dim(0), a.Dim(1), b.Dim(1)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var acc float32
+			for p := 0; p < k; p++ {
+				acc += a.Data[p*m+i] * b.Data[p*n+j]
+			}
+			dst.Data[i*n+j] = acc
+		}
+	}
+}
+
+func requireBitEqual(t *testing.T, op string, got, want *Tensor) {
+	t.Helper()
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("%s: element %d differs: got %v, want %v", op, i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// TestKernelEquivalence drives the blocked kernels over randomized odd
+// shapes (hitting every remainder path of the 4×4 tiles) at worker
+// counts 1 (serial) and 4 (parallel) and demands exact float32 equality
+// with the naive reference — same summation order, same bits.
+func TestKernelEquivalence(t *testing.T) {
+	defer SetWorkers(Workers())
+	r := rng.New(0xb10cced)
+	shapes := [][3]int{
+		{1, 1, 1}, {3, 5, 7}, {4, 4, 4}, {5, 9, 6}, {8, 25, 32},
+		{17, 33, 29}, {64, 64, 64}, {37, 100, 41}, {128, 31, 57},
+	}
+	for _, workers := range []int{1, 4} {
+		SetWorkers(workers)
+		for _, s := range shapes {
+			m, k, n := s[0], s[1], s[2]
+			t.Run(fmt.Sprintf("w%d_%dx%dx%d", workers, m, k, n), func(t *testing.T) {
+				a := New(m, k)
+				b := New(k, n)
+				bt := New(n, k)
+				at := New(k, m)
+				r.FillNormal(a.Data, 0, 1)
+				r.FillNormal(b.Data, 0, 1)
+				r.FillNormal(bt.Data, 0, 1)
+				r.FillNormal(at.Data, 0, 1)
+
+				got, want := New(m, n), New(m, n)
+				MatMul(got, a, b)
+				naiveMatMul(want, a, b)
+				requireBitEqual(t, "MatMul", got, want)
+
+				MatMulT(got, a, bt)
+				naiveMatMulT(want, a, bt)
+				requireBitEqual(t, "MatMulT", got, want)
+
+				MatMulTA(got, at, b)
+				naiveMatMulTA(want, at, b)
+				requireBitEqual(t, "MatMulTA", got, want)
+
+				// Acc variants: dst + product must equal computing the
+				// product separately and adding it with one addition per
+				// element.
+				init := New(m, n)
+				r.FillNormal(init.Data, 0, 1)
+				acc := init.Clone()
+				MatMulTAAcc(acc, at, b)
+				for i := range want.Data {
+					want.Data[i] = init.Data[i] + want.Data[i]
+				}
+				requireBitEqual(t, "MatMulTAAcc", acc, want)
+
+				naiveMatMul(want, a, b)
+				acc = init.Clone()
+				MatMulAcc(acc, a, b)
+				for i := range want.Data {
+					want.Data[i] = init.Data[i] + want.Data[i]
+				}
+				requireBitEqual(t, "MatMulAcc", acc, want)
+			})
+		}
+	}
+}
+
+// TestKernelEquivalenceSparse repeats the comparison with heavily zeroed
+// operands (the ReLU-sparse regime the seed kernels special-cased with a
+// zero-skip). Bit-identity with the dense-order reference must hold.
+func TestKernelEquivalenceSparse(t *testing.T) {
+	r := rng.New(0x5a123)
+	m, k, n := 23, 50, 19
+	a := New(m, k)
+	b := New(k, n)
+	r.FillNormal(a.Data, 0, 1)
+	r.FillNormal(b.Data, 0, 1)
+	for i := range a.Data {
+		if r.Float64() < 0.7 {
+			a.Data[i] = 0
+		}
+	}
+	for i := range b.Data {
+		if r.Float64() < 0.5 {
+			b.Data[i] = 0
+		}
+	}
+	got, want := New(m, n), New(m, n)
+	MatMul(got, a, b)
+	naiveMatMul(want, a, b)
+	requireBitEqual(t, "MatMul/sparse", got, want)
+}
+
+// TestMatMulTRankCheck pins the regression where MatMulT and MatMulTA
+// accepted non-rank-2 arguments and died later with a confusing
+// dimension error; they must reject them up front like MatMul does.
+func TestMatMulTRankCheck(t *testing.T) {
+	rank3 := New(2, 2, 2)
+	mat := New(2, 2)
+	cases := []struct {
+		name string
+		call func()
+	}{
+		{"MatMulT-a", func() { MatMulT(New(2, 2), rank3, mat) }},
+		{"MatMulT-b", func() { MatMulT(New(2, 2), mat, rank3) }},
+		{"MatMulT-dst", func() { MatMulT(rank3, mat, mat) }},
+		{"MatMulTA-a", func() { MatMulTA(New(2, 2), rank3, mat) }},
+		{"MatMulTA-b", func() { MatMulTA(New(2, 2), mat, rank3) }},
+		{"MatMulTAAcc-a", func() { MatMulTAAcc(New(2, 2), rank3, mat) }},
+		{"MatMulAcc-a", func() { MatMulAcc(New(2, 2), rank3, mat) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("expected a panic on a non-rank-2 argument")
+				}
+				msg, ok := r.(string)
+				if !ok {
+					t.Fatalf("panic value %v (%T), want a string message", r, r)
+				}
+				if want := "rank-2"; !contains(msg, want) {
+					t.Fatalf("panic message %q does not mention %q", msg, want)
+				}
+			}()
+			tc.call()
+		})
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestEnsureReuse covers the scratch primitive: same shape returns the
+// same tensor, a smaller shape reuses the backing array, a larger shape
+// allocates.
+func TestEnsureReuse(t *testing.T) {
+	a := Ensure(nil, 4, 8)
+	if a == nil || a.Len() != 32 {
+		t.Fatalf("Ensure(nil) = %v", a)
+	}
+	b := Ensure(a, 4, 8)
+	if b != a {
+		t.Fatal("Ensure with identical shape must return the same tensor")
+	}
+	c := Ensure(a, 2, 6)
+	if &c.Data[0] != &a.Data[0] {
+		t.Fatal("Ensure with a smaller shape must reuse the backing array")
+	}
+	if c.Dim(0) != 2 || c.Dim(1) != 6 || c.Len() != 12 {
+		t.Fatalf("Ensure reshape got %v", c.Shape())
+	}
+	d := Ensure(c, 100, 100)
+	if d.Len() != 10000 {
+		t.Fatalf("Ensure grow got %v", d.Shape())
+	}
+}
+
+// TestBindView covers the zero-alloc view primitive.
+func TestBindView(t *testing.T) {
+	data := make([]float32, 24)
+	for i := range data {
+		data[i] = float32(i)
+	}
+	var v Tensor
+	v.Bind(data[6:], 3, 4)
+	if v.Len() != 12 || v.At(0, 0) != 6 {
+		t.Fatalf("Bind view wrong: len %d, first %v", v.Len(), v.At(0, 0))
+	}
+	v.Data[0] = -1
+	if data[6] != -1 {
+		t.Fatal("Bind must alias the underlying data")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Bind with short data must panic")
+		}
+	}()
+	v.Bind(data[:3], 2, 2)
+}
+
+// TestIm2ColBatchMatchesPerImage pins the batched lowering against the
+// per-image transform, and the batched scatter against per-image Col2Im.
+func TestIm2ColBatchMatchesPerImage(t *testing.T) {
+	r := rng.New(0xba7c4)
+	bN, c, h, w, kh, kw := 3, 2, 9, 8, 3, 3
+	outH, outW := h-kh+1, w-kw+1
+	fanIn := c * kh * kw
+	x := New(bN, c, h, w)
+	r.FillNormal(x.Data, 0, 1)
+
+	batched := New(bN*outH*outW, fanIn)
+	Im2ColBatch(batched, x, kh, kw)
+	imgVol := c * h * w
+	for i := 0; i < bN; i++ {
+		var img Tensor
+		img.Bind(x.Data[i*imgVol:], c, h, w)
+		single := New(outH*outW, fanIn)
+		Im2Col(single, &img, kh, kw)
+		for j, v := range single.Data {
+			if got := batched.Data[i*outH*outW*fanIn+j]; got != v {
+				t.Fatalf("image %d element %d: batched %v, per-image %v", i, j, got, v)
+			}
+		}
+	}
+
+	cols := New(bN*outH*outW, fanIn)
+	r.FillNormal(cols.Data, 0, 1)
+	dxBatched := New(bN, c, h, w)
+	Col2ImBatch(dxBatched, cols, kh, kw)
+	for i := 0; i < bN; i++ {
+		var sub Tensor
+		sub.Bind(cols.Data[i*outH*outW*fanIn:], outH*outW, fanIn)
+		single := New(c, h, w)
+		Col2Im(single, &sub, kh, kw)
+		for j, v := range single.Data {
+			if got := dxBatched.Data[i*imgVol+j]; got != v {
+				t.Fatalf("image %d grad element %d: batched %v, per-image %v", i, j, got, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,10 @@
+//go:build !amd64 || purego
+
+package tensor
+
+// Non-amd64 builds (or -tags purego) use the scalar kernels everywhere.
+const useAVX = false
+
+func mmRowAVX(dst, a, b *float32, astride, k, n, j8, acc int) {
+	panic("tensor: mmRowAVX called without AVX support")
+}

@@ -155,6 +155,33 @@ func Transpose(a *Tensor) *Tensor {
 	return out
 }
 
+// TransposeInto writes the transpose of the 2-D tensor a into dst, which
+// must be shaped (cols, rows). Unlike Transpose it allocates nothing —
+// layers use it to maintain transposed-weight scratch for the vector
+// matmul kernels.
+func TransposeInto(dst, a *Tensor) {
+	if a.Rank() != 2 || dst.Rank() != 2 {
+		panic("tensor: TransposeInto requires rank-2 tensors")
+	}
+	rows, cols := a.Dim(0), a.Dim(1)
+	if dst.Dim(0) != cols || dst.Dim(1) != rows {
+		panic(fmt.Sprintf("tensor: TransposeInto dst shape %v, want (%d,%d)", dst.shape, cols, rows))
+	}
+	const block = 32
+	for i0 := 0; i0 < rows; i0 += block {
+		iMax := min(i0+block, rows)
+		for j0 := 0; j0 < cols; j0 += block {
+			jMax := min(j0+block, cols)
+			for i := i0; i < iMax; i++ {
+				row := a.Data[i*cols:]
+				for j := j0; j < jMax; j++ {
+					dst.Data[j*rows+i] = row[j]
+				}
+			}
+		}
+	}
+}
+
 func checkPair(op string, dst, a *Tensor) {
 	if !dst.SameShape(a) {
 		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, dst.shape, a.shape))

@@ -50,6 +50,76 @@ func checkShape(shape []int) int {
 	return n
 }
 
+// Ensure returns a tensor of the given shape, reusing t's backing array
+// when its capacity suffices and allocating otherwise. It is the
+// scratch-buffer primitive: layers keep per-call work tensors alive
+// across steps (`c.cols = tensor.Ensure(c.cols, ...)`) so steady-state
+// training allocates nothing. The returned tensor's contents are
+// unspecified when the shape changes — callers must overwrite every
+// element. t must be exclusively owned scratch (never a Reshape view of
+// shared storage); passing nil is allowed and allocates.
+func Ensure(t *Tensor, shape ...int) *Tensor {
+	n := shapeVolume(shape)
+	if n < 0 {
+		checkShape(append([]int(nil), shape...)) // panics with the full message
+	}
+	if t == nil || cap(t.Data) < n {
+		return &Tensor{Data: make([]float32, n), shape: append([]int(nil), shape...)}
+	}
+	if len(t.shape) == len(shape) {
+		same := true
+		for i := range shape {
+			if t.shape[i] != shape[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return t
+		}
+	}
+	t.Data = t.Data[:n]
+	t.shape = append(t.shape[:0], shape...)
+	return t
+}
+
+// Bind repoints t at a prefix of data with the given shape, without
+// allocating a new header. It exists so hot loops can carve per-item
+// views out of a batched buffer (e.g. one image's im2col rows) using a
+// reusable Tensor value instead of a fresh FromSlice per item. data must
+// hold at least the shape's volume; the view aliases data.
+func (t *Tensor) Bind(data []float32, shape ...int) {
+	n := shapeVolume(shape)
+	if n < 0 {
+		checkShape(append([]int(nil), shape...)) // panics with the full message
+	}
+	if len(data) < n {
+		panic(fmt.Sprintf("tensor: Bind data length %d short of shape %v (volume %d)",
+			len(data), append([]int(nil), shape...), n))
+	}
+	t.Data = data[:n]
+	t.shape = append(t.shape[:0], shape...)
+}
+
+// shapeVolume computes the element count of shape, returning -1 for an
+// invalid (empty or non-positive) shape. Unlike checkShape it never
+// formats shape into a panic message, so it does not force callers'
+// variadic shape slices to escape to the heap — the property the
+// zero-allocation scratch paths (Ensure, Bind) rely on.
+func shapeVolume(shape []int) int {
+	if len(shape) == 0 {
+		return -1
+	}
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			return -1
+		}
+		n *= d
+	}
+	return n
+}
+
 // Shape returns the tensor's dimensions. The returned slice must not be
 // modified.
 func (t *Tensor) Shape() []int { return t.shape }

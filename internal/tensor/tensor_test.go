@@ -193,7 +193,7 @@ func TestMatMulParallelMatchesSerial(t *testing.T) {
 	big := New(m, n)
 	MatMul(big, a, b) // likely parallel path
 	ref := New(m, n)
-	matmulRows(ref.Data, a.Data, b.Data, 0, m, k, n)
+	matmulRows(ref.Data, a.Data, b.Data, 0, m, k, n, false)
 	for i := range ref.Data {
 		if !almostEq(big.Data[i], ref.Data[i], 1e-4) {
 			t.Fatalf("parallel MatMul diverges at %d: %v vs %v", i, big.Data[i], ref.Data[i])
