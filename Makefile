@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short race vet ci bench bench-json bench-smoke clean
+.PHONY: all build test test-short race vet ci bench bench-json bench-smoke test-chaos fuzz-smoke clean
 
 # The substrate microbenchmarks tracked in BENCH_micro.json.
 MICRO_BENCH = BenchmarkMatMul128$$|BenchmarkConvForward$$|BenchmarkConvBackward$$|BenchmarkClassifierTrainEpoch$$|BenchmarkDecoderGenerate$$
@@ -25,10 +25,11 @@ vet:
 	$(GO) vet ./...
 
 # ci is the gate for every change: static analysis, the short test suite
-# under the race detector (telemetry and fednet are concurrent), and one
+# under the race detector (telemetry and fednet are concurrent), one
 # iteration of every substrate microbenchmark so a broken kernel fails
-# fast even when its unit tests are skipped.
-ci: vet race bench-smoke
+# fast even when its unit tests are skipped, the fault-injection chaos
+# suite, and a bounded fuzz pass over the wire decoder.
+ci: vet race bench-smoke test-chaos fuzz-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...
@@ -44,6 +45,19 @@ bench-smoke:
 bench-json:
 	$(GO) test -run '^$$' -bench '$(MICRO_BENCH)' -benchmem -benchtime=3s . \
 		| $(GO) run ./cmd/benchjson -label '$(BENCH_LABEL)' -out BENCH_micro.json
+
+# test-chaos runs the deterministic fault-injection suite — the faultnet
+# wrappers plus the fednet chaos/rejoin/quorum tests (skipped under
+# -short) — with the race detector on, since every scenario exercises
+# concurrent drops, retries, and rejoins.
+test-chaos:
+	$(GO) test -race ./internal/faultnet/
+	$(GO) test -race -run 'Chaos|Fault|Rejoin|Quorum' ./internal/fednet/
+
+# fuzz-smoke gives the wire-frame decoder a bounded randomized beating on
+# every CI run; go test -fuzz takes over for longer campaigns.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzReadMessage -fuzztime 10s ./internal/wire/
 
 clean:
 	$(GO) clean ./...

@@ -13,6 +13,14 @@
 //
 // Both sides derive all randomness from the shared experiment seed, so a
 // networked run reproduces the in-process simulator bit for bit.
+//
+// Fault tolerance is off by default (any client failure aborts the run,
+// matching the simulator's semantics). -min-clients enables graceful
+// degradation; see the README's "Fault tolerance" section:
+//
+//	fednode -mode server -min-clients 4 -round-timeout 2m -io-timeout 30s \
+//	        -retries 2 -register-timeout 5m ...
+//	fednode -mode client -redial 10 ...
 package main
 
 import (
@@ -20,6 +28,7 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"time"
 
 	"fedguard/internal/dataset"
 	"fedguard/internal/experiment"
@@ -41,16 +50,37 @@ func main() {
 
 		events    = flag.String("events", "", "server: write a structured JSONL event log to this path")
 		debugAddr = flag.String("debug-addr", "", "server: serve /metrics, /healthz, expvar and pprof on this address")
+
+		minClients = flag.Int("min-clients", 0,
+			"server: round quorum; > 0 drops unresponsive clients instead of aborting (0 = strict)")
+		roundTimeout = flag.Duration("round-timeout", 0,
+			"server: straggler budget for one round's client phase (0 = unbounded)")
+		ioTimeout = flag.Duration("io-timeout", 0,
+			"server: deadline for each wire send/receive (0 = unbounded)")
+		retries = flag.Int("retries", 0,
+			"server: per-client retries after transient errors within a round")
+		registerTimeout = flag.Duration("register-timeout", 0,
+			"server: start once min-clients registered and this long has passed (0 = wait for all)")
+		redial = flag.Int("redial", 0,
+			"client: reconnection attempts after a broken session (0 = fail fast)")
 	)
 	flag.Parse()
 
 	switch *mode {
 	case "client":
-		if err := fednet.RunClient(*addr, *id); err != nil {
+		err := fednet.RunClientResilient(*addr, *id, fednet.ClientOptions{Redials: *redial})
+		if err != nil {
 			fatal(err)
 		}
 	case "server":
-		if err := runServer(*listen, *preset, *scenario, *strategy, *events, *debugAddr); err != nil {
+		ft := faultTolerance{
+			MinClients:      *minClients,
+			RoundTimeout:    *roundTimeout,
+			IOTimeout:       *ioTimeout,
+			Retries:         *retries,
+			RegisterTimeout: *registerTimeout,
+		}
+		if err := runServer(*listen, *preset, *scenario, *strategy, *events, *debugAddr, ft); err != nil {
 			fatal(err)
 		}
 	default:
@@ -58,7 +88,17 @@ func main() {
 	}
 }
 
-func runServer(listen, preset, scenarioID, strategyName, events, debugAddr string) error {
+// faultTolerance carries the server's degradation knobs from flags to
+// fednet.Config.
+type faultTolerance struct {
+	MinClients      int
+	RoundTimeout    time.Duration
+	IOTimeout       time.Duration
+	Retries         int
+	RegisterTimeout time.Duration
+}
+
+func runServer(listen, preset, scenarioID, strategyName, events, debugAddr string, ft faultTolerance) error {
 	setup, err := experiment.NewSetup(experiment.Preset(preset))
 	if err != nil {
 		return err
@@ -117,6 +157,12 @@ func runServer(listen, preset, scenarioID, strategyName, events, debugAddr strin
 		DataSeed:   rng.DeriveSeed(setup.Seed, "traindata", 0),
 		TrainSize:  setup.TrainSize,
 		Telemetry:  tel,
+
+		MinClientsPerRound: ft.MinClients,
+		RoundTimeout:       ft.RoundTimeout,
+		IOTimeout:          ft.IOTimeout,
+		MaxRetries:         ft.Retries,
+		RegisterTimeout:    ft.RegisterTimeout,
 	}
 	test := dataset.Generate(setup.TestSize, dataset.DefaultGenOptions(),
 		rng.New(rng.DeriveSeed(setup.Seed, "testdata", 0)))
@@ -134,10 +180,14 @@ func runServer(listen, preset, scenarioID, strategyName, events, debugAddr strin
 		ln.Addr(), setup.NumClients)
 
 	h, err := srv.Run(ln, func(rec fl.RoundRecord) {
-		fmt.Fprintf(os.Stderr, "round %3d  acc=%.4f  up=%.2fMB down=%.2fMB  %.2fs\n",
+		line := fmt.Sprintf("round %3d  acc=%.4f  up=%.2fMB down=%.2fMB  %.2fs",
 			rec.Round, rec.TestAccuracy,
 			float64(rec.UploadBytes)/(1<<20), float64(rec.DownloadBytes)/(1<<20),
 			rec.Seconds)
+		if len(rec.Dropped) > 0 {
+			line += fmt.Sprintf("  dropped=%v", rec.Dropped)
+		}
+		fmt.Fprintln(os.Stderr, line)
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,283 @@
+// Package faultnet injects deterministic network faults underneath the
+// federation's wire protocol. A declarative Plan — latency, fragmented
+// (short) writes, byte corruption, mid-frame connection drops, accept
+// delays — is applied per peer through net.Conn/net.Listener wrappers,
+// with every random choice drawn from an RNG derived from the plan seed
+// and the peer ID. The same seed therefore reproduces the same corrupted
+// offsets, the same drop points, and (through the server's timeout and
+// quorum machinery in package fednet) the same round-by-round exclusion
+// sequence, which is what makes chaos tests assertable.
+//
+// Wrappers are transparent when their PeerPlan is the zero value: a
+// zero-fault chaos run is byte-identical to an unwrapped one.
+package faultnet
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"fedguard/internal/rng"
+)
+
+// ErrInjected marks failures manufactured by this package, so tests and
+// logs can tell injected faults from real ones.
+var ErrInjected = errors.New("faultnet: injected fault")
+
+// PeerPlan declares one peer's faults. The zero value injects nothing.
+//
+// Write-side faults (delay, fragmentation, corruption, drops) apply only
+// after the first SkipWrites writes, so a registration handshake can
+// pass cleanly while round traffic is tortured; SkipReads does the same
+// for the read side.
+type PeerPlan struct {
+	// SkipWrites / SkipReads exempt the first n operations in each
+	// direction from all faults.
+	SkipWrites, SkipReads int
+	// WriteDelay / ReadDelay sleep before each faulty-eligible operation
+	// (a peer with a delay far above the server's round timeout is a
+	// straggler that gets dropped every round it is sampled).
+	WriteDelay, ReadDelay time.Duration
+	// WriteChunk fragments each write into underlying writes of at most
+	// this many bytes (0 = no fragmentation), exercising the reader's
+	// frame-reassembly path.
+	WriteChunk int
+	// CorruptProb is the per-write probability of XOR-flipping one byte
+	// at an RNG-chosen offset (1 corrupts every write). The wire layer's
+	// frame checksum turns these into detectable transient errors.
+	CorruptProb float64
+	// DropAfterWrites kills the connection mid-frame on the (n+1)th
+	// faulty-eligible write: an RNG-chosen prefix of the buffer is
+	// written, the connection closes, and every later operation fails
+	// (0 = never). Models a client crashing mid-upload.
+	DropAfterWrites int
+	// DropAfterReads kills the connection before the (n+1)th
+	// faulty-eligible read completes (0 = never).
+	DropAfterReads int
+}
+
+// zero reports whether the plan injects nothing.
+func (p PeerPlan) zero() bool {
+	return p.WriteDelay == 0 && p.ReadDelay == 0 && p.WriteChunk == 0 &&
+		p.CorruptProb == 0 && p.DropAfterWrites == 0 && p.DropAfterReads == 0
+}
+
+// Plan declares a whole federation's faults: a seed that pins every
+// random choice, per-peer overrides, a default for unlisted peers, and a
+// listener-level accept delay.
+type Plan struct {
+	// Seed derives each peer's private fault RNG; the same seed replays
+	// the same faults.
+	Seed uint64
+	// Default applies to peers without an entry in Peers.
+	Default PeerPlan
+	// Peers maps a peer ID (in fednet: the client ID) to its faults.
+	Peers map[int]PeerPlan
+	// AcceptDelay sleeps before each Listener.Accept returns.
+	AcceptDelay time.Duration
+}
+
+// For returns the effective PeerPlan for peer id.
+func (p *Plan) For(id int) PeerPlan {
+	if p == nil {
+		return PeerPlan{}
+	}
+	if pp, ok := p.Peers[id]; ok {
+		return pp
+	}
+	return p.Default
+}
+
+// Conn wraps c with peer id's faults, deriving the fault RNG from the
+// plan seed and the peer ID.
+func (p *Plan) Conn(id int, c net.Conn) *Conn {
+	var seed uint64
+	if p != nil {
+		seed = p.Seed
+	}
+	return &Conn{
+		Conn:   c,
+		plan:   p.For(id),
+		rng:    rng.New(rng.DeriveSeed(seed, "faultnet", uint64(id))),
+		closed: make(chan struct{}),
+	}
+}
+
+// Dial connects to addr and wraps the connection with peer id's faults.
+func (p *Plan) Dial(network, addr string, id int) (*Conn, error) {
+	c, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return p.Conn(id, c), nil
+}
+
+// Conn is a net.Conn with deterministic fault injection. A single peer
+// goroutine using the connection sequentially sees a deterministic fault
+// sequence for a fixed plan seed.
+type Conn struct {
+	net.Conn
+	plan PeerPlan
+	rng  *rng.RNG
+
+	mu     sync.Mutex
+	reads  int
+	writes int
+	dead   bool
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+// Close aborts any in-flight injected delay, then closes the wrapped
+// connection.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return c.Conn.Close()
+}
+
+// sleep waits d unless the connection is closed first (so a test tearing
+// down a stalled straggler does not block for the full injected delay).
+func (c *Conn) sleep(d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-c.closed:
+		return ErrInjected
+	}
+}
+
+// die marks the connection dead and closes it; all later operations fail
+// with ErrInjected.
+func (c *Conn) die() {
+	c.dead = true
+	c.closeOnce.Do(func() { close(c.closed) })
+	c.Conn.Close()
+}
+
+// Write implements net.Conn with the plan's write-side faults.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead {
+		return 0, ErrInjected
+	}
+	c.writes++
+	if c.writes <= c.plan.SkipWrites {
+		return c.Conn.Write(p)
+	}
+	if err := c.sleep(c.plan.WriteDelay); err != nil {
+		return 0, err
+	}
+	if c.dead { // closed while sleeping
+		return 0, ErrInjected
+	}
+	if n := c.plan.DropAfterWrites; n > 0 && c.writes-c.plan.SkipWrites > n {
+		// Mid-frame crash: leak a strict prefix, then kill the link.
+		cut := 0
+		if len(p) > 1 {
+			cut = c.rng.Intn(len(p))
+		}
+		written, _ := c.Conn.Write(p[:cut])
+		c.die()
+		return written, ErrInjected
+	}
+	buf := p
+	if c.plan.CorruptProb > 0 && len(p) > 0 && c.rng.Float64() < c.plan.CorruptProb {
+		buf = append([]byte(nil), p...)
+		buf[c.rng.Intn(len(buf))] ^= 0xFF
+	}
+	if chunk := c.plan.WriteChunk; chunk > 0 {
+		var total int
+		for len(buf) > 0 {
+			k := chunk
+			if k > len(buf) {
+				k = len(buf)
+			}
+			n, err := c.Conn.Write(buf[:k])
+			total += n
+			if err != nil {
+				return total, err
+			}
+			buf = buf[k:]
+		}
+		return total, nil
+	}
+	return c.Conn.Write(buf)
+}
+
+// Read implements net.Conn with the plan's read-side faults.
+func (c *Conn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		return 0, ErrInjected
+	}
+	c.reads++
+	reads, skip := c.reads, c.plan.SkipReads
+	c.mu.Unlock()
+	if reads <= skip {
+		return c.Conn.Read(p)
+	}
+	if err := c.sleep(c.plan.ReadDelay); err != nil {
+		return 0, err
+	}
+	if n := c.plan.DropAfterReads; n > 0 && reads-skip > n {
+		c.mu.Lock()
+		c.die()
+		c.mu.Unlock()
+		return 0, ErrInjected
+	}
+	return c.Conn.Read(p)
+}
+
+// Listener wraps a net.Listener with the plan's accept-side faults.
+// Accepted connections are wrapped with the Default peer plan keyed by
+// accept order; peers whose faults must be tied to a protocol-level
+// identity (fednet client IDs) should instead wrap their own dialed
+// connection with Plan.Conn.
+type Listener struct {
+	net.Listener
+	plan *Plan
+
+	mu   sync.Mutex
+	next int
+}
+
+// Listen wraps ln.
+func (p *Plan) Listen(ln net.Listener) *Listener {
+	return &Listener{Listener: ln, plan: p}
+}
+
+// Accept implements net.Listener, sleeping AcceptDelay before each
+// accept and wrapping the resulting connection.
+func (l *Listener) Accept() (net.Conn, error) {
+	if l.plan != nil && l.plan.AcceptDelay > 0 {
+		time.Sleep(l.plan.AcceptDelay)
+	}
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	id := l.next
+	l.next++
+	l.mu.Unlock()
+	var seed uint64
+	var pp PeerPlan
+	if l.plan != nil {
+		seed, pp = l.plan.Seed, l.plan.Default
+	}
+	return &Conn{
+		Conn:   c,
+		plan:   pp,
+		rng:    rng.New(rng.DeriveSeed(seed, "faultnet-accept", uint64(id))),
+		closed: make(chan struct{}),
+	}, nil
+}

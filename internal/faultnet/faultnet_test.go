@@ -1,0 +1,286 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"fedguard/internal/wire"
+)
+
+// pipePair returns both ends of an in-memory connection, with the local
+// end wrapped by the plan for peer id.
+func pipePair(plan *Plan, id int) (*Conn, net.Conn) {
+	a, b := net.Pipe()
+	return plan.Conn(id, a), b
+}
+
+func TestZeroPlanIsTransparent(t *testing.T) {
+	c, peer := pipePair(&Plan{Seed: 1}, 0)
+	defer c.Close()
+	defer peer.Close()
+
+	go func() {
+		wire.WriteMessage(c, &wire.Hello{ClientID: 9})
+	}()
+	msg, err := wire.ReadMessage(peer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, ok := msg.(*wire.Hello); !ok || h.ClientID != 9 {
+		t.Fatalf("got %#v", msg)
+	}
+}
+
+func TestWriteDelayAndSkip(t *testing.T) {
+	const delay = 50 * time.Millisecond
+	plan := &Plan{Seed: 1, Default: PeerPlan{SkipWrites: 1, WriteDelay: delay}}
+	c, peer := pipePair(plan, 0)
+	defer c.Close()
+	defer peer.Close()
+
+	go io.Copy(io.Discard, peer)
+
+	start := time.Now()
+	if _, err := c.Write([]byte("fast")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d >= delay {
+		t.Fatalf("skipped write took %v, want < %v", d, delay)
+	}
+	start = time.Now()
+	if _, err := c.Write([]byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < delay {
+		t.Fatalf("faulty write took %v, want >= %v", d, delay)
+	}
+}
+
+func TestCloseAbortsInjectedDelay(t *testing.T) {
+	plan := &Plan{Seed: 1, Default: PeerPlan{WriteDelay: time.Minute}}
+	c, peer := pipePair(plan, 0)
+	defer peer.Close()
+
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := c.Write([]byte("stalls"))
+		errCh <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	start := time.Now()
+	c.Close()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("aborted write returned %v, want ErrInjected", err)
+		}
+		if time.Since(start) > time.Second {
+			t.Fatal("close did not promptly abort the injected delay")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("write still blocked after Close")
+	}
+}
+
+func TestDropAfterWritesKillsMidFrame(t *testing.T) {
+	plan := &Plan{Seed: 7, Default: PeerPlan{DropAfterWrites: 2}}
+	c, peer := pipePair(plan, 0)
+	defer c.Close()
+	defer peer.Close()
+
+	var got bytes.Buffer
+	var mu sync.Mutex
+	go func() {
+		buf := make([]byte, 256)
+		for {
+			n, err := peer.Read(buf)
+			mu.Lock()
+			got.Write(buf[:n])
+			mu.Unlock()
+			if err != nil {
+				return
+			}
+		}
+	}()
+
+	payload := bytes.Repeat([]byte("x"), 64)
+	for i := 0; i < 2; i++ {
+		if _, err := c.Write(payload); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	n, err := c.Write(payload)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("third write: n=%d err=%v, want ErrInjected", n, err)
+	}
+	if n >= len(payload) {
+		t.Fatalf("mid-frame drop wrote the whole buffer (%d bytes)", n)
+	}
+	// The connection is dead for every subsequent operation.
+	if _, err := c.Write(payload); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write after drop: %v", err)
+	}
+	if _, err := c.Read(make([]byte, 1)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read after drop: %v", err)
+	}
+}
+
+func TestCorruptionIsDeterministic(t *testing.T) {
+	run := func(seed uint64) []byte {
+		plan := &Plan{Seed: seed, Default: PeerPlan{CorruptProb: 1}}
+		c, peer := pipePair(plan, 3)
+		defer c.Close()
+		defer peer.Close()
+		var got []byte
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			buf := make([]byte, 1024)
+			for {
+				n, err := peer.Read(buf)
+				got = append(got, buf[:n]...)
+				if err != nil {
+					return
+				}
+			}
+		}()
+		for i := 0; i < 5; i++ {
+			if _, err := c.Write([]byte("the quick brown fox jumps")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c.Close()
+		peer.Close()
+		<-done
+		return got
+	}
+	a, b := run(42), run(42)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different corruption")
+	}
+	if bytes.Equal(a, bytes.Repeat([]byte("the quick brown fox jumps"), 5)) {
+		t.Fatal("CorruptProb=1 left the stream untouched")
+	}
+	if c := run(43); bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical corruption")
+	}
+}
+
+func TestWriteChunkFragments(t *testing.T) {
+	plan := &Plan{Seed: 1, Default: PeerPlan{WriteChunk: 3}}
+	c, peer := pipePair(plan, 0)
+	defer c.Close()
+	defer peer.Close()
+
+	sizes := make(chan int, 16)
+	go func() {
+		defer close(sizes)
+		buf := make([]byte, 64)
+		for {
+			n, err := peer.Read(buf)
+			if n > 0 {
+				sizes <- n
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	msg := []byte("fragmented frame")
+	if n, err := c.Write(msg); err != nil || n != len(msg) {
+		t.Fatalf("write: n=%d err=%v", n, err)
+	}
+	c.Close()
+	peer.Close()
+	var total, count int
+	for n := range sizes {
+		if n > 3 {
+			t.Fatalf("underlying write of %d bytes despite WriteChunk=3", n)
+		}
+		total += n
+		count++
+	}
+	if total != len(msg) || count < len(msg)/3 {
+		t.Fatalf("fragmentation lost data: %d bytes in %d writes", total, count)
+	}
+}
+
+func TestDropAfterReads(t *testing.T) {
+	plan := &Plan{Seed: 1, Default: PeerPlan{SkipReads: 1, DropAfterReads: 1}}
+	c, peer := pipePair(plan, 0)
+	defer c.Close()
+	defer peer.Close()
+
+	go func() {
+		for i := 0; i < 3; i++ {
+			if _, err := peer.Write([]byte("z")); err != nil {
+				return
+			}
+		}
+	}()
+	buf := make([]byte, 1)
+	for i := 0; i < 2; i++ { // one skipped + one eligible read succeed
+		if _, err := c.Read(buf); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+	if _, err := c.Read(buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read past DropAfterReads: %v, want ErrInjected", err)
+	}
+}
+
+func TestPlanForPrecedence(t *testing.T) {
+	plan := &Plan{
+		Default: PeerPlan{WriteDelay: time.Second},
+		Peers:   map[int]PeerPlan{2: {CorruptProb: 0.5}},
+	}
+	if got := plan.For(2); got.CorruptProb != 0.5 || got.WriteDelay != 0 {
+		t.Fatalf("peer override not applied: %+v", got)
+	}
+	if got := plan.For(1); got.WriteDelay != time.Second {
+		t.Fatalf("default not applied: %+v", got)
+	}
+	var nilPlan *Plan
+	if !nilPlan.For(0).zero() {
+		t.Fatal("nil plan must be fault-free")
+	}
+}
+
+func TestListenerAcceptDelayAndWrap(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const delay = 30 * time.Millisecond
+	wrapped := (&Plan{Seed: 1, AcceptDelay: delay}).Listen(ln)
+	defer wrapped.Close()
+
+	go func() {
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err == nil {
+			c.Write([]byte("hi"))
+			c.Close()
+		}
+	}()
+	start := time.Now()
+	conn, err := wrapped.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if d := time.Since(start); d < delay {
+		t.Fatalf("accept took %v, want >= %v", d, delay)
+	}
+	if _, ok := conn.(*Conn); !ok {
+		t.Fatalf("accepted conn is %T, want *faultnet.Conn", conn)
+	}
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(conn, buf); err != nil || string(buf) != "hi" {
+		t.Fatalf("read %q, %v", buf, err)
+	}
+}

@@ -13,13 +13,32 @@
 // Unlike the in-process simulator, communication columns here are
 // *measured* from the sockets (via wire.CountingConn), frame overhead
 // included, rather than computed from payload sizes.
+//
+// # Fault tolerance
+//
+// With MinClientsPerRound > 0 the server degrades gracefully instead of
+// aborting: per-message deadlines (IOTimeout) and a round-level
+// straggler budget (RoundTimeout) bound every wire operation, transient
+// failures (timeouts, checksum-corrupt frames) are retried with backoff
+// up to MaxRetries, and clients that still fail are dropped for the
+// round — excluded from aggregation (and from FedGuard's audit) exactly
+// like defense-excluded updates — while the round proceeds with the
+// responsive quorum. Dropped or late clients may re-register at any
+// time and rejoin from the next round, receiving the current global
+// model with their next TrainRequest. All of it is observable:
+// ClientDropped / ClientRejoined / RoundDegraded events plus retry,
+// timeout, and drop counters. With MinClientsPerRound == 0 (the zero
+// value) the strict legacy behavior is preserved: no deadlines, and any
+// failure aborts the run.
 package fednet
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fedguard/internal/attack"
@@ -50,7 +69,34 @@ type Config struct {
 	// Telemetry, when non-nil, receives structured run events,
 	// phase-level metrics, and per-peer measured byte-count gauges.
 	Telemetry *telemetry.T
+
+	// MinClientsPerRound enables fault-tolerant operation when > 0: a
+	// round proceeds as long as at least this many sampled clients
+	// deliver updates; the rest are dropped for the round and may rejoin
+	// later. 0 (the default) keeps the strict legacy behavior where any
+	// client failure aborts the run.
+	MinClientsPerRound int
+	// RoundTimeout bounds the client-training phase of one round; sampled
+	// clients that have not delivered by then are dropped (0 = unbounded).
+	RoundTimeout time.Duration
+	// IOTimeout bounds each individual wire send/receive (0 = unbounded,
+	// unless RoundTimeout caps it).
+	IOTimeout time.Duration
+	// MaxRetries bounds per-client re-requests after transient errors
+	// (timeouts, checksum-corrupt frames) within one round.
+	MaxRetries int
+	// RetryBackoff is the initial sleep between retries, doubling each
+	// attempt (default 25ms when retries are enabled).
+	RetryBackoff time.Duration
+	// RegisterTimeout bounds the initial registration wait. When it
+	// expires with at least MinClientsPerRound clients registered, the
+	// run starts without the missing ones (they may still rejoin);
+	// with fewer, the run fails. 0 waits for all clients forever.
+	RegisterTimeout time.Duration
 }
+
+// tolerant reports whether graceful degradation is enabled.
+func (c *Config) tolerant() bool { return c.MinClientsPerRound > 0 }
 
 // NewAttackByName builds a client-side attack instance. AdditiveNoise
 // instances built from the same seed draw the same collusive noise
@@ -78,6 +124,17 @@ type Server struct {
 	cfg      Config
 	test     *dataset.Dataset
 	strategy fl.Strategy
+
+	// Run-time connection state (guarded by mu). Rejoining clients swap
+	// entries while rounds are in flight.
+	mu      sync.Mutex
+	clients map[int]*clientConn
+
+	// round is the 1-based round currently driving (for rejoin events).
+	round atomic.Int64
+
+	parts     [][]int
+	malicious map[int]bool
 }
 
 // NewServer validates the configuration and returns a server. test is
@@ -92,6 +149,17 @@ func NewServer(cfg Config, test *dataset.Dataset, strategy fl.Strategy) (*Server
 	}
 	if cfg.TrainSize <= 0 {
 		return nil, fmt.Errorf("fednet: TrainSize = %d", cfg.TrainSize)
+	}
+	if cfg.MinClientsPerRound < 0 || cfg.MinClientsPerRound > cfg.Experiment.PerRound {
+		return nil, fmt.Errorf("fednet: MinClientsPerRound = %d with m = %d",
+			cfg.MinClientsPerRound, cfg.Experiment.PerRound)
+	}
+	if cfg.RoundTimeout < 0 || cfg.IOTimeout < 0 || cfg.MaxRetries < 0 ||
+		cfg.RetryBackoff < 0 || cfg.RegisterTimeout < 0 {
+		return nil, fmt.Errorf("fednet: negative fault-tolerance parameter")
+	}
+	if cfg.RetryBackoff == 0 {
+		cfg.RetryBackoff = 25 * time.Millisecond
 	}
 	probe := cfg.Experiment
 	probe.Attack = attack.None{} // instance irrelevant; satisfy validation
@@ -120,26 +188,46 @@ func (c *clientConn) recv() (any, error) {
 	return wire.ReadMessage(c.count)
 }
 
-// Run accepts exactly N client registrations on ln, configures them,
-// drives R federated rounds, and returns the full history. onRound, if
-// non-nil, fires after every round.
+// errNotConnected marks a sampled client with no live connection.
+var errNotConnected = errors.New("fednet: client not connected")
+
+// Run accepts client registrations on ln, configures them, drives R
+// federated rounds, and returns the full history. onRound, if non-nil,
+// fires after every round.
 func (s *Server) Run(ln net.Listener, onRound func(fl.RoundRecord)) (*fl.History, error) {
 	cfg := s.cfg.Experiment
 	train := dataset.Generate(s.cfg.TrainSize, dataset.DefaultGenOptions(), rng.New(s.cfg.DataSeed))
-	parts := fl.Partition(train, cfg)
-	malicious := fl.MaliciousPlacement(cfg)
+	s.parts = fl.Partition(train, cfg)
+	s.malicious = fl.MaliciousPlacement(cfg)
 
-	clients, err := s.register(ln, parts, malicious)
-	if err != nil {
+	if err := s.register(ln); err != nil {
 		return nil, err
 	}
 	defer func() {
-		for _, c := range clients {
+		for _, c := range s.snapshot() {
+			if s.cfg.tolerant() {
+				c.conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+			}
 			c.send(&wire.Shutdown{})
 			// Closing the wrapper (not the raw conn) fires the counting
 			// hook, publishing each peer's final byte totals.
 			c.count.Close()
 		}
+	}()
+
+	// In tolerant mode, keep accepting: dropped (or late) clients can
+	// re-register mid-run and rejoin from the next round.
+	var rejoinWG sync.WaitGroup
+	stopRejoin := make(chan struct{})
+	if s.cfg.tolerant() {
+		if _, ok := ln.(deadliner); ok {
+			rejoinWG.Add(1)
+			go s.acceptRejoins(ln, stopRejoin, &rejoinWG)
+		}
+	}
+	defer func() {
+		close(stopRejoin)
+		rejoinWG.Wait()
 	}()
 
 	serverRNG := rng.New(rng.DeriveSeed(cfg.Seed, "server", 0))
@@ -171,17 +259,14 @@ func (s *Server) Run(ln net.Listener, onRound func(fl.RoundRecord)) (*fl.History
 
 	// Snapshot the counters so registration/setup traffic is not charged
 	// to round 1.
-	var lastRead, lastWritten int64
-	for _, c := range clients {
-		lastRead += c.count.BytesRead()
-		lastWritten += c.count.BytesWritten()
-	}
+	lastRead, lastWritten := s.totalBytes()
 	for round := 1; round <= cfg.Rounds; round++ {
+		s.round.Store(int64(round))
 		trainStart := time.Now()
 		sampled := serverRNG.Sample(cfg.NumClients, cfg.PerRound)
 		var attackIDs []int
 		for _, id := range sampled {
-			if malicious[id] {
+			if s.malicious[id] {
 				attackIDs = append(attackIDs, id)
 			}
 		}
@@ -189,21 +274,9 @@ func (s *Server) Run(ln net.Listener, onRound func(fl.RoundRecord)) (*fl.History
 			tel.Emit(telemetry.AttackSampled{Round: round, ClientIDs: attackIDs})
 		}
 
-		updates := make([]fl.Update, len(sampled))
-		errs := make([]error, len(sampled))
-		var wg sync.WaitGroup
-		for i, id := range sampled {
-			wg.Add(1)
-			go func(i, id int) {
-				defer wg.Done()
-				updates[i], errs[i] = s.trainOne(clients[id], round, needDecoders, global)
-			}(i, id)
-		}
-		wg.Wait()
-		for i, err := range errs {
-			if err != nil {
-				return history, fmt.Errorf("fednet: round %d client %d: %w", round, sampled[i], err)
-			}
+		updates, dropped, err := s.trainRound(round, sampled, needDecoders, global)
+		if err != nil {
+			return history, err
 		}
 		trainSecs := time.Since(trainStart).Seconds()
 
@@ -232,15 +305,11 @@ func (s *Server) Run(ln net.Listener, onRound func(fl.RoundRecord)) (*fl.History
 
 		// Measured wire traffic this round, all clients combined. From the
 		// server's perspective writes are uploads, reads are downloads.
-		var read, written int64
+		read, written := s.totalBytes()
+		s.publishPeerBytes()
 		maliciousSampled := 0
-		for _, c := range clients {
-			read += c.count.BytesRead()
-			written += c.count.BytesWritten()
-		}
-		s.publishPeerBytes(clients)
 		for _, id := range sampled {
-			if malicious[id] {
+			if s.malicious[id] {
 				maliciousSampled++
 			}
 		}
@@ -252,6 +321,7 @@ func (s *Server) Run(ln net.Listener, onRound func(fl.RoundRecord)) (*fl.History
 			DownloadBytes:    read - lastRead,
 			Sampled:          sampled,
 			MaliciousSampled: maliciousSampled,
+			Dropped:          dropped,
 			Report:           ctx.Report,
 		}
 		lastRead, lastWritten = read, written
@@ -281,102 +351,396 @@ func (s *Server) Run(ln net.Listener, onRound func(fl.RoundRecord)) (*fl.History
 	return history, nil
 }
 
+// trainRound fans one round's work out to the sampled clients and
+// collects the responsive updates in sampled order. In tolerant mode,
+// failing clients are dropped (telemetry + connection teardown) and the
+// round proceeds as long as the quorum holds; in strict mode any failure
+// aborts.
+func (s *Server) trainRound(round int, sampled []int, needDecoders bool, global []float32) ([]fl.Update, []int, error) {
+	tel := s.cfg.Telemetry
+	conns := make([]*clientConn, len(sampled))
+	s.mu.Lock()
+	for i, id := range sampled {
+		conns[i] = s.clients[id]
+	}
+	s.mu.Unlock()
+
+	var deadline time.Time
+	if s.cfg.RoundTimeout > 0 {
+		deadline = time.Now().Add(s.cfg.RoundTimeout)
+	}
+
+	results := make([]fl.Update, len(sampled))
+	errs := make([]error, len(sampled))
+	var wg sync.WaitGroup
+	for i := range sampled {
+		if conns[i] == nil {
+			errs[i] = errNotConnected
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = s.trainOne(conns[i], round, needDecoders, global, deadline)
+		}(i)
+	}
+	wg.Wait()
+
+	updates := make([]fl.Update, 0, len(sampled))
+	var dropped []int
+	for i, err := range errs {
+		if err == nil {
+			updates = append(updates, results[i])
+			continue
+		}
+		if !s.cfg.tolerant() {
+			return nil, nil, fmt.Errorf("fednet: round %d client %d: %w", round, sampled[i], err)
+		}
+		dropped = append(dropped, sampled[i])
+		s.dropClient(round, sampled[i], conns[i], err)
+	}
+	if s.cfg.tolerant() && len(updates) < s.cfg.MinClientsPerRound {
+		return nil, nil, fmt.Errorf("fednet: round %d: %d responsive clients, quorum is %d",
+			round, len(updates), s.cfg.MinClientsPerRound)
+	}
+	if len(dropped) > 0 {
+		tel.Emit(telemetry.RoundDegraded{
+			Round:      round,
+			Sampled:    len(sampled),
+			Responsive: len(updates),
+			Dropped:    dropped,
+		})
+		tel.AddCounter("fedguard_net_rounds_degraded_total", 1)
+	}
+	return updates, dropped, nil
+}
+
+// dropClient abandons id's connection for this round: it is removed from
+// the registry (unless a rejoin already replaced it), closed, and the
+// drop is published as an event plus a reason-labeled counter.
+func (s *Server) dropClient(round, id int, c *clientConn, cause error) {
+	s.mu.Lock()
+	if c != nil && s.clients[id] == c {
+		delete(s.clients, id)
+	}
+	s.mu.Unlock()
+	if c != nil {
+		c.count.Close()
+	}
+	reason := dropReason(cause)
+	tel := s.cfg.Telemetry
+	tel.Emit(telemetry.ClientDropped{Round: round, ClientID: id, Reason: reason})
+	tel.AddCounter("fedguard_net_drops_total", 1, telemetry.L("reason", reason))
+}
+
+// dropReason classifies a drop cause for telemetry.
+func dropReason(err error) string {
+	var ne net.Error
+	switch {
+	case errors.Is(err, errNotConnected):
+		return "disconnected"
+	case errors.As(err, &ne) && ne.Timeout():
+		return "timeout"
+	case errors.Is(err, wire.ErrChecksum) || errors.Is(err, wire.ErrBadFrame):
+		return "protocol"
+	default:
+		return "transport"
+	}
+}
+
+// transientErr reports whether a failed exchange is worth retrying on
+// the same connection: deadline expiries (the update may still arrive)
+// and checksum-corrupt frames (the stream stays aligned; the client will
+// resend its cached update). Transport errors — EOF, resets, injected
+// crashes — are final.
+func transientErr(err error) bool {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	return errors.Is(err, wire.ErrChecksum)
+}
+
+// snapshot returns the live connections.
+func (s *Server) snapshot() []*clientConn {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*clientConn, 0, len(s.clients))
+	for _, c := range s.clients {
+		out = append(out, c)
+	}
+	return out
+}
+
+// totalBytes sums measured traffic over the live connections.
+func (s *Server) totalBytes() (read, written int64) {
+	for _, c := range s.snapshot() {
+		read += c.count.BytesRead()
+		written += c.count.BytesWritten()
+	}
+	return read, written
+}
+
 // publishPeerBytes refreshes the per-peer measured byte gauges from the
 // counting wrappers (labels: client=<id>; direction from the server's
 // perspective).
-func (s *Server) publishPeerBytes(clients map[int]*clientConn) {
+func (s *Server) publishPeerBytes() {
 	tel := s.cfg.Telemetry
 	if tel == nil || tel.Metrics == nil {
 		return
 	}
-	for id, c := range clients {
-		l := telemetry.L("client", strconv.Itoa(id))
+	for _, c := range s.snapshot() {
+		l := telemetry.L("client", strconv.Itoa(c.id))
 		tel.SetGauge("fedguard_peer_bytes_read", float64(c.count.BytesRead()), l)
 		tel.SetGauge("fedguard_peer_bytes_written", float64(c.count.BytesWritten()), l)
 	}
 }
 
-// trainOne sends one round's work to a client and reads back its update.
-func (s *Server) trainOne(c *clientConn, round int, needDecoder bool, global []float32) (fl.Update, error) {
+// trainOne sends one round's work to a client and reads back its update,
+// retrying transient failures with exponential backoff while the round
+// deadline allows. Clients cache their last computed update per round,
+// so a re-request after a lost or corrupt frame does not retrain (and
+// does not perturb the client's deterministic random stream).
+func (s *Server) trainOne(c *clientConn, round int, needDecoder bool, global []float32, deadline time.Time) (fl.Update, error) {
+	tel := s.cfg.Telemetry
+	backoff := s.cfg.RetryBackoff
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			if attempt > s.cfg.MaxRetries {
+				break
+			}
+			if !deadline.IsZero() && time.Now().Add(backoff).After(deadline) {
+				break
+			}
+			time.Sleep(backoff)
+			backoff *= 2
+			tel.AddCounter("fedguard_net_retries_total", 1)
+		}
+		u, err := s.requestOnce(c, round, needDecoder, global, deadline)
+		if err == nil {
+			return u, nil
+		}
+		lastErr = err
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			tel.AddCounter("fedguard_net_timeouts_total", 1)
+		}
+		if !transientErr(err) {
+			break
+		}
+	}
+	return fl.Update{}, lastErr
+}
+
+// requestOnce performs a single TrainRequest/Update exchange under the
+// configured deadlines, skipping stale updates left over from earlier
+// retried rounds.
+func (s *Server) requestOnce(c *clientConn, round int, needDecoder bool, global []float32, deadline time.Time) (fl.Update, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.conn.SetDeadline(s.opDeadline(deadline))
+	defer c.conn.SetDeadline(time.Time{})
 	req := &wire.TrainRequest{Round: uint32(round), NeedDecoder: needDecoder, Global: global}
 	if err := c.send(req); err != nil {
 		return fl.Update{}, err
 	}
-	msg, err := c.recv()
-	if err != nil {
-		return fl.Update{}, err
-	}
-	u, ok := msg.(*wire.Update)
-	if !ok {
-		return fl.Update{}, fmt.Errorf("fednet: expected Update, got %T", msg)
-	}
-	if u.Round != uint32(round) {
-		return fl.Update{}, fmt.Errorf("fednet: update for round %d, expected %d", u.Round, round)
-	}
-	out := fl.Update{
-		ClientID:   int(u.ClientID),
-		Weights:    u.Weights,
-		NumSamples: int(u.NumSamples),
-	}
-	if len(u.Decoder) > 0 {
-		out.Decoder = u.Decoder
-	}
-	if len(u.DecoderClasses) > 0 {
-		out.DecoderClasses = make([]int, len(u.DecoderClasses))
-		for i, v := range u.DecoderClasses {
-			out.DecoderClasses[i] = int(v)
+	// A retried earlier round can leave its late update in the stream;
+	// skip a bounded number of stale frames.
+	for skipped := 0; skipped < 4; skipped++ {
+		c.conn.SetReadDeadline(s.opDeadline(deadline))
+		msg, err := c.recv()
+		if err != nil {
+			return fl.Update{}, err
 		}
+		u, ok := msg.(*wire.Update)
+		if !ok {
+			return fl.Update{}, fmt.Errorf("fednet: expected Update, got %T", msg)
+		}
+		if u.Round < uint32(round) {
+			continue
+		}
+		if u.Round != uint32(round) {
+			return fl.Update{}, fmt.Errorf("fednet: update for round %d, expected %d", u.Round, round)
+		}
+		out := fl.Update{
+			ClientID:   int(u.ClientID),
+			Weights:    u.Weights,
+			NumSamples: int(u.NumSamples),
+		}
+		if len(u.Decoder) > 0 {
+			out.Decoder = u.Decoder
+		}
+		if len(u.DecoderClasses) > 0 {
+			out.DecoderClasses = make([]int, len(u.DecoderClasses))
+			for i, v := range u.DecoderClasses {
+				out.DecoderClasses[i] = int(v)
+			}
+		}
+		return out, nil
 	}
-	return out, nil
+	return fl.Update{}, fmt.Errorf("fednet: too many stale updates from client %d", c.id)
 }
 
+// opDeadline combines the per-message IOTimeout with the round deadline
+// (whichever comes first; zero means no deadline).
+func (s *Server) opDeadline(roundDeadline time.Time) time.Time {
+	var d time.Time
+	if s.cfg.IOTimeout > 0 {
+		d = time.Now().Add(s.cfg.IOTimeout)
+	}
+	if !roundDeadline.IsZero() && (d.IsZero() || roundDeadline.Before(d)) {
+		d = roundDeadline
+	}
+	return d
+}
+
+// deadliner is the optional listener capability used for bounded
+// registration waits and the interruptible rejoin accept loop.
+type deadliner interface {
+	SetDeadline(time.Time) error
+}
+
+// acceptPoll is the rejoin loop's accept-deadline granularity.
+const acceptPoll = 200 * time.Millisecond
+
 // register accepts connections until every expected client has said
-// hello, then sends each its setup message.
-func (s *Server) register(ln net.Listener, parts [][]int, malicious map[int]bool) (map[int]*clientConn, error) {
+// hello (or, in tolerant mode with RegisterTimeout, until the deadline
+// with at least the quorum present), then sends each its setup message.
+func (s *Server) register(ln net.Listener) error {
 	cfg := s.cfg.Experiment
-	clients := make(map[int]*clientConn, cfg.NumClients)
-	for len(clients) < cfg.NumClients {
+	tolerant := s.cfg.tolerant()
+	var overall time.Time
+	if tolerant && s.cfg.RegisterTimeout > 0 {
+		overall = time.Now().Add(s.cfg.RegisterTimeout)
+	}
+	dl, canDeadline := ln.(deadliner)
+	s.mu.Lock()
+	s.clients = make(map[int]*clientConn, cfg.NumClients)
+	s.mu.Unlock()
+	registered := 0
+	for registered < cfg.NumClients {
+		if !overall.IsZero() && canDeadline {
+			dl.SetDeadline(overall)
+		}
 		conn, err := ln.Accept()
 		if err != nil {
-			return nil, fmt.Errorf("fednet: accept: %w", err)
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() && registered >= s.cfg.MinClientsPerRound {
+				// Quorum present: start without the missing clients (the
+				// rejoin loop keeps listening for them).
+				break
+			}
+			return fmt.Errorf("fednet: accept: %w", err)
 		}
-		count := wire.NewCountingConn(conn)
-		msg, err := wire.ReadMessage(count)
+		c, err := s.handshake(conn)
 		if err != nil {
 			conn.Close()
-			return nil, fmt.Errorf("fednet: registration: %w", err)
+			if tolerant {
+				// A broken or hostile registration must not sink the run.
+				s.cfg.Telemetry.AddCounter("fedguard_net_bad_registrations_total", 1)
+				continue
+			}
+			return err
 		}
-		hello, ok := msg.(*wire.Hello)
-		if !ok {
+		s.mu.Lock()
+		if _, dup := s.clients[c.id]; dup {
+			s.mu.Unlock()
 			conn.Close()
-			return nil, fmt.Errorf("fednet: expected Hello, got %T", msg)
+			return fmt.Errorf("fednet: duplicate client ID %d", c.id)
 		}
-		id := int(hello.ClientID)
-		if id < 0 || id >= cfg.NumClients {
-			conn.Close()
-			return nil, fmt.Errorf("fednet: client ID %d out of range", id)
-		}
-		if _, dup := clients[id]; dup {
-			conn.Close()
-			return nil, fmt.Errorf("fednet: duplicate client ID %d", id)
-		}
-		c := &clientConn{id: id, conn: conn, count: count}
-		if tel := s.cfg.Telemetry; tel != nil {
-			l := telemetry.L("client", strconv.Itoa(id))
-			count.OnClose(func(read, written int64) {
-				tel.SetGauge("fedguard_peer_bytes_read", float64(read), l)
-				tel.SetGauge("fedguard_peer_bytes_written", float64(written), l)
-			})
-		}
-		if err := c.send(s.setupFor(id, parts[id], malicious[id])); err != nil {
-			conn.Close()
-			return nil, fmt.Errorf("fednet: sending setup to %d: %w", id, err)
-		}
-		clients[id] = c
+		s.clients[c.id] = c
+		s.mu.Unlock()
+		registered++
 	}
-	return clients, nil
+	if canDeadline {
+		dl.SetDeadline(time.Time{})
+	}
+	return nil
+}
+
+// handshake reads a Hello from a fresh connection, validates the claimed
+// identity, wires up byte accounting, and answers with the client's
+// Setup. Shared by initial registration and mid-run rejoins.
+func (s *Server) handshake(conn net.Conn) (*clientConn, error) {
+	cfg := s.cfg.Experiment
+	if s.cfg.tolerant() {
+		t := s.cfg.IOTimeout
+		if t <= 0 {
+			t = 5 * time.Second
+		}
+		conn.SetDeadline(time.Now().Add(t))
+		defer conn.SetDeadline(time.Time{})
+	}
+	count := wire.NewCountingConn(conn)
+	msg, err := wire.ReadMessage(count)
+	if err != nil {
+		return nil, fmt.Errorf("fednet: registration: %w", err)
+	}
+	hello, ok := msg.(*wire.Hello)
+	if !ok {
+		return nil, fmt.Errorf("fednet: expected Hello, got %T", msg)
+	}
+	id := int(hello.ClientID)
+	if id < 0 || id >= cfg.NumClients {
+		return nil, fmt.Errorf("fednet: client ID %d out of range", id)
+	}
+	c := &clientConn{id: id, conn: conn, count: count}
+	if tel := s.cfg.Telemetry; tel != nil {
+		l := telemetry.L("client", strconv.Itoa(id))
+		count.OnClose(func(read, written int64) {
+			tel.SetGauge("fedguard_peer_bytes_read", float64(read), l)
+			tel.SetGauge("fedguard_peer_bytes_written", float64(written), l)
+		})
+	}
+	if err := c.send(s.setupFor(id, s.parts[id], s.malicious[id])); err != nil {
+		return nil, fmt.Errorf("fednet: sending setup to %d: %w", id, err)
+	}
+	return c, nil
+}
+
+// acceptRejoins keeps the listener hot while rounds run, so crashed or
+// late clients can re-register: a successful handshake swaps the new
+// connection into the registry (closing any stale one) and the client
+// participates again from the next round, receiving the current global
+// model with its next TrainRequest.
+func (s *Server) acceptRejoins(ln net.Listener, stop <-chan struct{}, wg *sync.WaitGroup) {
+	defer wg.Done()
+	dl := ln.(deadliner)
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		dl.SetDeadline(time.Now().Add(acceptPoll))
+		conn, err := ln.Accept()
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			return // listener closed
+		}
+		c, err := s.handshake(conn)
+		if err != nil {
+			conn.Close()
+			s.cfg.Telemetry.AddCounter("fedguard_net_bad_registrations_total", 1)
+			continue
+		}
+		s.mu.Lock()
+		old := s.clients[c.id]
+		s.clients[c.id] = c
+		s.mu.Unlock()
+		if old != nil {
+			old.count.Close()
+		}
+		s.cfg.Telemetry.Emit(telemetry.ClientRejoined{
+			Round:    int(s.round.Load()),
+			ClientID: c.id,
+		})
+		s.cfg.Telemetry.AddCounter("fedguard_net_rejoins_total", 1)
+	}
 }
 
 func (s *Server) setupFor(id int, indices []int, isMalicious bool) *wire.Setup {
@@ -423,6 +787,33 @@ func RunClient(addr string, clientID int) error {
 	return ServeClient(conn, clientID)
 }
 
+// ClientOptions tune client-side fault tolerance.
+type ClientOptions struct {
+	// Redials bounds reconnection attempts after a broken session
+	// (0 = fail on the first error, like RunClient).
+	Redials int
+	// RedialBackoff is the sleep between reconnection attempts
+	// (default 250ms).
+	RedialBackoff time.Duration
+}
+
+// RunClientResilient is RunClient with a reconnect loop: when the
+// session breaks (server restart, dropped connection, transient network
+// failure), the client redials and re-registers, resuming from whatever
+// round the server sends next. A clean Shutdown ends the loop.
+func RunClientResilient(addr string, clientID int, opts ClientOptions) error {
+	backoff := opts.RedialBackoff
+	if backoff <= 0 {
+		backoff = 250 * time.Millisecond
+	}
+	err := RunClient(addr, clientID)
+	for attempt := 0; err != nil && attempt < opts.Redials; attempt++ {
+		time.Sleep(backoff)
+		err = RunClient(addr, clientID)
+	}
+	return err
+}
+
 // ServeClient speaks the client side of the protocol over an existing
 // connection (exposed for tests and in-process loopback demos).
 func ServeClient(conn net.Conn, clientID int) error {
@@ -443,6 +834,11 @@ func ServeClient(conn net.Conn, clientID int) error {
 		return err
 	}
 
+	// The last computed update, kept so a server re-request for the same
+	// round (after a timeout or a corrupt frame) is answered from cache:
+	// retraining would advance the client's private random stream and
+	// break the run's determinism.
+	var last *wire.Update
 	for {
 		msg, err := wire.ReadMessage(conn)
 		if err != nil {
@@ -450,19 +846,23 @@ func ServeClient(conn net.Conn, clientID int) error {
 		}
 		switch m := msg.(type) {
 		case *wire.TrainRequest:
-			u := client.RunRound(m.Global, m.NeedDecoder)
-			resp := &wire.Update{
-				Round:      m.Round,
-				ClientID:   uint32(u.ClientID),
-				NumSamples: uint32(u.NumSamples),
-				Weights:    u.Weights,
-				Decoder:    u.Decoder,
-			}
-			if len(u.DecoderClasses) > 0 {
-				resp.DecoderClasses = make([]uint32, len(u.DecoderClasses))
-				for i, v := range u.DecoderClasses {
-					resp.DecoderClasses[i] = uint32(v)
+			resp := last
+			if resp == nil || resp.Round != m.Round {
+				u := client.RunRound(m.Global, m.NeedDecoder)
+				resp = &wire.Update{
+					Round:      m.Round,
+					ClientID:   uint32(u.ClientID),
+					NumSamples: uint32(u.NumSamples),
+					Weights:    u.Weights,
+					Decoder:    u.Decoder,
 				}
+				if len(u.DecoderClasses) > 0 {
+					resp.DecoderClasses = make([]uint32, len(u.DecoderClasses))
+					for i, v := range u.DecoderClasses {
+						resp.DecoderClasses[i] = uint32(v)
+					}
+				}
+				last = resp
 			}
 			if err := wire.WriteMessage(conn, resp); err != nil {
 				return fmt.Errorf("fednet: client %d write: %w", clientID, err)

@@ -27,6 +27,10 @@ type RoundRecord struct {
 	Sampled []int
 	// MaliciousSampled counts how many of them were malicious.
 	MaliciousSampled int
+	// Dropped lists sampled clients excluded from this round's
+	// aggregation because they failed to deliver an update (networked
+	// deployments only; nil for in-process runs and healthy rounds).
+	Dropped []int
 	// Report carries strategy-specific diagnostics (e.g. "excluded").
 	Report map[string]float64
 }

@@ -306,6 +306,7 @@ func RecordRound(tel *telemetry.T, rec RoundRecord) {
 		DownloadBytes:    rec.DownloadBytes,
 		Sampled:          rec.Sampled,
 		MaliciousSampled: rec.MaliciousSampled,
+		Dropped:          rec.Dropped,
 		Report:           rec.Report,
 	})
 	tel.AddCounter("fedguard_rounds_total", 1)

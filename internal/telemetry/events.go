@@ -42,6 +42,9 @@ type RoundCompleted struct {
 	DownloadBytes    int64   `json:"download_bytes"`
 	Sampled          []int   `json:"sampled"`
 	MaliciousSampled int     `json:"malicious_sampled"`
+	// Dropped lists sampled clients that failed to deliver an update
+	// (networked runs only; empty when the full cohort responded).
+	Dropped []int `json:"dropped,omitempty"`
 	// Report is the strategy's per-round diagnostic map, carried verbatim.
 	Report map[string]float64 `json:"report,omitempty"`
 }
@@ -73,6 +76,47 @@ type AttackSampled struct {
 
 // Kind implements Event.
 func (AttackSampled) Kind() string { return "AttackSampled" }
+
+// ClientDropped records the networked server abandoning one client for
+// the rest of a round: the client missed its deadline, exhausted its
+// retries, or died mid-frame. Its update is excluded from aggregation
+// (and from FedGuard's audit) exactly like a defense-excluded one, and
+// the client may rejoin at a later round.
+type ClientDropped struct {
+	Round    int    `json:"round"`
+	ClientID int    `json:"client_id"`
+	// Reason is "timeout" (deadline expired), "transport" (connection
+	// died), "protocol" (corrupt or unexpected frames), or
+	// "disconnected" (no live connection when the round started).
+	Reason string `json:"reason"`
+}
+
+// Kind implements Event.
+func (ClientDropped) Kind() string { return "ClientDropped" }
+
+// ClientRejoined records a previously dropped (or never-registered)
+// client re-registering mid-run; it receives the current global model
+// with its next TrainRequest.
+type ClientRejoined struct {
+	Round    int `json:"round"`
+	ClientID int `json:"client_id"`
+}
+
+// Kind implements Event.
+func (ClientRejoined) Kind() string { return "ClientRejoined" }
+
+// RoundDegraded records a round that proceeded without its full sampled
+// cohort: Responsive of Sampled clients returned updates and the rest
+// were dropped (listed in Dropped, in sampled order).
+type RoundDegraded struct {
+	Round      int   `json:"round"`
+	Sampled    int   `json:"sampled"`
+	Responsive int   `json:"responsive"`
+	Dropped    []int `json:"dropped"`
+}
+
+// Kind implements Event.
+func (RoundDegraded) Kind() string { return "RoundDegraded" }
 
 // RunCompleted closes an experiment's event stream.
 type RunCompleted struct {

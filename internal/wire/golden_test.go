@@ -1,0 +1,98 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/hex"
+	"reflect"
+	"testing"
+)
+
+// goldenFrames pins the byte-level wire format for every message type:
+// [4B LE payload length][4B LE CRC-32C][1B type][body]. A networked
+// federation mixes server and client builds, so any change to these
+// bytes is a protocol break and must be deliberate (bump this table in
+// the same change).
+var goldenFrames = []struct {
+	name string
+	msg  any
+	hex  string
+}{
+	{
+		name: "Hello",
+		msg:  &Hello{ClientID: 7},
+		hex:  "0500000053a163640107000000",
+	},
+	{
+		name: "Setup",
+		msg: &Setup{Seed: 1, DataSeed: 2, TrainSize: 3, Indices: []uint32{4, 5},
+			ArchName: "tiny", Epochs: 6, BatchSize: 7, LR: 0.5, Momentum: 0.25,
+			CVAEHidden: 8, CVAELatent: 9, CVAEEpochs: 10, CVAEBatch: 11, CVAELR: 0.125,
+			NumClasses: 12, Attack: "sign-flip", AttackSeed: 13},
+		hex: "7200000079af7fc60201000000000000000200000000000000030000000200000004000000050000000400000074696e790600000007000000000000000000e03f000000000000d03f08000000090000000a0000000b000000000000000000c03f0c000000090000007369676e2d666c69700d00000000000000",
+	},
+	{
+		name: "TrainRequest",
+		msg:  &TrainRequest{Round: 2, NeedDecoder: true, Global: []float32{1, -2, 0.5}},
+		hex:  "16000000202b552d030200000001030000000000803f000000c00000003f",
+	},
+	{
+		name: "Update",
+		msg: &Update{Round: 3, ClientID: 4, NumSamples: 5, Weights: []float32{1.5},
+			Decoder: []float32{-0.5, 2}, DecoderClasses: []uint32{0, 9}},
+		hex: "2d0000004b4e75a604030000000400000005000000010000000000c03f02000000000000bf00000040020000000000000009000000",
+	},
+	{
+		name: "Shutdown",
+		msg:  &Shutdown{},
+		hex:  "010000004d478c6705",
+	},
+}
+
+func TestGoldenFrameBytes(t *testing.T) {
+	for _, g := range goldenFrames {
+		t.Run(g.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := WriteMessage(&buf, g.msg); err != nil {
+				t.Fatal(err)
+			}
+			want, err := hex.DecodeString(g.hex)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Fatalf("encoded bytes changed — wire protocol break:\n got %s\nwant %s",
+					hex.EncodeToString(buf.Bytes()), g.hex)
+			}
+			got, err := ReadMessage(bytes.NewReader(want))
+			if err != nil {
+				t.Fatalf("golden frame no longer decodes: %v", err)
+			}
+			if !equalMessage(got, g.msg) {
+				t.Fatalf("golden frame decoded as %#v, want %#v", got, g.msg)
+			}
+		})
+	}
+}
+
+// equalMessage compares decoded against original, tolerating the
+// decoder's nil-vs-empty slice distinction for optional fields.
+func equalMessage(got, want any) bool {
+	if reflect.TypeOf(got) != reflect.TypeOf(want) {
+		return false
+	}
+	return reflect.DeepEqual(normalize(got), normalize(want))
+}
+
+func normalize(m any) any {
+	if u, ok := m.(*Update); ok {
+		c := *u
+		if len(c.Decoder) == 0 {
+			c.Decoder = nil
+		}
+		if len(c.DecoderClasses) == 0 {
+			c.DecoderClasses = nil
+		}
+		return &c
+	}
+	return m
+}

@@ -6,16 +6,24 @@
 //
 // Frame layout:
 //
-//	[4-byte little-endian payload length][1-byte message type][payload]
+//	[4-byte LE payload length][4-byte LE CRC-32C of payload][payload]
 //
-// The payload length covers the type byte plus the body. Frames are
-// capped at MaxFrame to bound memory against corrupt or hostile peers.
+// where payload is [1-byte message type][body]. The length covers the
+// type byte plus the body; the checksum covers the same bytes, so a
+// flipped bit anywhere in a frame's payload is detected at the reader
+// (CRC mismatches are transient: the stream stays frame-aligned and the
+// peer can re-request). Frames are capped at MaxFrame to bound memory
+// against corrupt or hostile peers, and payload buffers grow
+// incrementally as bytes actually arrive, so a lying length prefix
+// cannot force a large up-front allocation.
 package wire
 
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 )
@@ -23,6 +31,29 @@ import (
 // MaxFrame bounds a single frame's payload (type byte + body). The paper
 // model (1.66M parameters ≈ 6.7 MB) fits with a wide margin.
 const MaxFrame = 256 << 20
+
+// headerSize is the fixed frame prelude: payload length plus CRC-32C.
+const headerSize = 8
+
+// allocChunk bounds how much payload buffer is allocated ahead of the
+// bytes actually received, so a corrupt or hostile length prefix costs
+// at most one chunk before the truncation is detected.
+const allocChunk = 1 << 20
+
+// crcTable is the Castagnoli polynomial table (hardware-accelerated on
+// amd64/arm64).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrChecksum reports a frame whose payload bytes do not match the
+// header checksum. The stream is still frame-aligned after this error
+// (the full payload was consumed), so callers may treat it as transient
+// and re-request.
+var ErrChecksum = errors.New("wire: frame checksum mismatch")
+
+// ErrBadFrame reports an unusable frame prelude (zero or oversized
+// length). Alignment is unknown afterwards; callers should drop the
+// connection.
+var ErrBadFrame = errors.New("wire: bad frame length")
 
 // Message types.
 const (
@@ -119,9 +150,11 @@ func WriteMessage(w io.Writer, msg any) error {
 	if n > MaxFrame {
 		return fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
 	}
-	header := make([]byte, 5)
+	crc := crc32.Update(crc32.Checksum([]byte{typ}, crcTable), crcTable, body)
+	header := make([]byte, headerSize+1)
 	binary.LittleEndian.PutUint32(header, uint32(n))
-	header[4] = typ
+	binary.LittleEndian.PutUint32(header[4:], crc)
+	header[headerSize] = typ
 	bw := bufio.NewWriterSize(w, 64<<10)
 	if _, err := bw.Write(header); err != nil {
 		return err
@@ -132,19 +165,25 @@ func WriteMessage(w io.Writer, msg any) error {
 	return bw.Flush()
 }
 
-// ReadMessage reads and decodes one framed message.
+// ReadMessage reads and decodes one framed message. A checksum failure
+// returns an error wrapping ErrChecksum with the stream still aligned on
+// the next frame; a bad length prefix returns ErrBadFrame.
 func ReadMessage(r io.Reader) (any, error) {
-	var lenBuf [4]byte
-	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+	var head [headerSize]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
 		return nil, err
 	}
-	n := binary.LittleEndian.Uint32(lenBuf[:])
+	n := binary.LittleEndian.Uint32(head[:4])
 	if n == 0 || n > MaxFrame {
-		return nil, fmt.Errorf("wire: bad frame length %d", n)
+		return nil, fmt.Errorf("%w: %d", ErrBadFrame, n)
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
+	wantCRC := binary.LittleEndian.Uint32(head[4:])
+	payload, err := readPayload(r, int(n))
+	if err != nil {
 		return nil, fmt.Errorf("wire: truncated frame: %w", err)
+	}
+	if got := crc32.Checksum(payload, crcTable); got != wantCRC {
+		return nil, fmt.Errorf("%w: got %08x, header says %08x", ErrChecksum, got, wantCRC)
 	}
 	typ := payload[0]
 	body := payload[1:]
@@ -171,6 +210,33 @@ func ReadMessage(r io.Reader) (any, error) {
 	default:
 		return nil, fmt.Errorf("wire: unknown message type %d", typ)
 	}
+}
+
+// readPayload reads exactly n payload bytes, growing the buffer at most
+// allocChunk ahead of the bytes actually received. A frame header that
+// lies about its length therefore fails with a truncation error after a
+// bounded allocation instead of reserving the claimed size up front.
+func readPayload(r io.Reader, n int) ([]byte, error) {
+	if n <= allocChunk {
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	}
+	buf := make([]byte, 0, allocChunk)
+	for len(buf) < n {
+		k := allocChunk
+		if rest := n - len(buf); rest < k {
+			k = rest
+		}
+		off := len(buf)
+		buf = append(buf, make([]byte, k)...)
+		if _, err := io.ReadFull(r, buf[off:]); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
 }
 
 func encodeSetup(m *Setup) []byte {

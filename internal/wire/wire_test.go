@@ -2,8 +2,12 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
 	"io"
 	"reflect"
+	"runtime"
 	"testing"
 	"testing/quick"
 
@@ -113,19 +117,84 @@ func TestMultipleMessagesOnOneStream(t *testing.T) {
 	}
 }
 
+// buildFrame assembles a raw frame around payload (type byte + body)
+// with a correct checksum, so tests can probe decode paths past the CRC.
+func buildFrame(payload []byte) []byte {
+	frame := make([]byte, headerSize)
+	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(payload, crcTable))
+	return append(frame, payload...)
+}
+
 func TestReadMessageRejectsGarbage(t *testing.T) {
 	cases := [][]byte{
 		{},                      // empty
 		{1, 2},                  // short header
-		{0, 0, 0, 0, 9},         // zero length
-		{255, 255, 255, 255, 1}, // oversized
-		{2, 0, 0, 0, 99, 0},     // unknown type
+		{1, 2, 3, 4, 5},         // truncated header
+		buildFrame(nil),         // zero length
+		{255, 255, 255, 255, 0, 0, 0, 0, 1}, // oversized length
+		buildFrame([]byte{99, 0}),           // unknown type
 	}
 	for i, c := range cases {
 		if _, err := ReadMessage(bytes.NewReader(c)); err == nil {
 			t.Fatalf("case %d: garbage accepted", i)
 		}
 	}
+}
+
+func TestReadMessageRejectsChecksumMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, &TrainRequest{Round: 2, Global: []float32{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Flip one payload bit; every position must be caught by the CRC.
+	for pos := headerSize; pos < len(data); pos++ {
+		mutated := append([]byte(nil), data...)
+		mutated[pos] ^= 0x40
+		_, err := ReadMessage(bytes.NewReader(mutated))
+		if !errors.Is(err, ErrChecksum) {
+			t.Fatalf("flip at %d: err = %v, want ErrChecksum", pos, err)
+		}
+	}
+	// The stream must stay frame-aligned after a checksum error: a clean
+	// frame following a corrupt one decodes normally.
+	corrupt := append([]byte(nil), data...)
+	corrupt[headerSize+1] ^= 0xFF
+	stream := append(corrupt, data...)
+	r := bytes.NewReader(stream)
+	if _, err := ReadMessage(r); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("first frame: %v, want ErrChecksum", err)
+	}
+	msg, err := ReadMessage(r)
+	if err != nil {
+		t.Fatalf("frame after checksum error: %v", err)
+	}
+	if req, ok := msg.(*TrainRequest); !ok || req.Round != 2 {
+		t.Fatalf("realigned frame decoded as %#v", msg)
+	}
+}
+
+// A hostile length prefix claiming a huge frame over a nearly empty
+// stream must fail on truncation after a bounded allocation — never
+// attempt to reserve the claimed size up front.
+func TestReadMessageBoundsAllocationOnLyingLength(t *testing.T) {
+	frame := make([]byte, headerSize)
+	binary.LittleEndian.PutUint32(frame, uint32(MaxFrame)) // claims 256 MB
+	frame = append(frame, 1, 2, 3)                         // delivers 3 bytes
+	before := totalAllocBytes()
+	if _, err := ReadMessage(bytes.NewReader(frame)); err == nil {
+		t.Fatal("lying length prefix accepted")
+	}
+	if grown := totalAllocBytes() - before; grown > 2*allocChunk {
+		t.Fatalf("claimed-256MB frame allocated %d bytes; want ≤ %d", grown, 2*allocChunk)
+	}
+}
+
+func totalAllocBytes() int64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.TotalAlloc)
 }
 
 func TestReadMessageRejectsTruncatedBody(t *testing.T) {
@@ -141,16 +210,12 @@ func TestReadMessageRejectsTruncatedBody(t *testing.T) {
 
 func TestDecoderGuardsLengthLies(t *testing.T) {
 	// An Update whose f32s header claims more floats than the body holds.
-	body := []byte{TypeUpdate}
-	body = appendU32(body, 1)          // round
-	body = appendU32(body, 1)          // client
-	body = appendU32(body, 1)          // samples
-	body = appendU32(body, 1000000000) // claimed weight count
-	frame := make([]byte, 4)
-	frame = append(frame, body...)
-	// Fix up length prefix.
-	frame[0] = byte(len(body))
-	if _, err := ReadMessage(bytes.NewReader(frame)); err == nil {
+	payload := []byte{TypeUpdate}
+	payload = appendU32(payload, 1)          // round
+	payload = appendU32(payload, 1)          // client
+	payload = appendU32(payload, 1)          // samples
+	payload = appendU32(payload, 1000000000) // claimed weight count
+	if _, err := ReadMessage(bytes.NewReader(buildFrame(payload))); err == nil {
 		t.Fatal("length-lying frame accepted")
 	}
 }
