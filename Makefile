@@ -1,9 +1,12 @@
 GO ?= go
 
-.PHONY: all build test test-short race vet ci bench bench-json bench-smoke test-chaos fuzz-smoke clean
+.PHONY: all build test test-short race vet ci bench bench-json bench-smoke test-chaos test-codec fuzz-smoke clean
 
 # The substrate microbenchmarks tracked in BENCH_micro.json.
 MICRO_BENCH = BenchmarkMatMul128$$|BenchmarkConvForward$$|BenchmarkConvBackward$$|BenchmarkClassifierTrainEpoch$$|BenchmarkDecoderGenerate$$
+# The wire-layer microbenchmarks (raw vs codec framing and the per-round
+# byte cost), tracked in the same snapshot file.
+WIRE_BENCH = BenchmarkWireWriteUpdate$$|BenchmarkWireReadUpdate$$|BenchmarkRoundWireBytes$$
 # Label for the snapshot written by bench-json.
 BENCH_LABEL ?= current
 
@@ -28,8 +31,9 @@ vet:
 # under the race detector (telemetry and fednet are concurrent), one
 # iteration of every substrate microbenchmark so a broken kernel fails
 # fast even when its unit tests are skipped, the fault-injection chaos
-# suite, and a bounded fuzz pass over the wire decoder.
-ci: vet race bench-smoke test-chaos fuzz-smoke
+# suite, the lossless-codec stack, and bounded fuzz passes over the wire
+# and codec decoders.
+ci: vet race bench-smoke test-chaos test-codec fuzz-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...
@@ -38,12 +42,14 @@ bench:
 # build-and-run sanity gate (seconds, not minutes).
 bench-smoke:
 	$(GO) test -run '^$$' -bench '$(MICRO_BENCH)' -benchmem -benchtime=1x .
+	$(GO) test -run '^$$' -bench '$(WIRE_BENCH)' -benchmem -benchtime=1x ./internal/wire/
 
 # bench-json measures the tracked microbenchmarks and records them as a
 # labelled snapshot in BENCH_micro.json (BENCH_LABEL=<label> to name it;
 # re-using a label replaces that snapshot).
 bench-json:
-	$(GO) test -run '^$$' -bench '$(MICRO_BENCH)' -benchmem -benchtime=3s . \
+	{ $(GO) test -run '^$$' -bench '$(MICRO_BENCH)' -benchmem -benchtime=3s . ; \
+	  $(GO) test -run '^$$' -bench '$(WIRE_BENCH)' -benchmem -benchtime=3s ./internal/wire/ ; } \
 		| $(GO) run ./cmd/benchjson -label '$(BENCH_LABEL)' -out BENCH_micro.json
 
 # test-chaos runs the deterministic fault-injection suite — the faultnet
@@ -54,10 +60,20 @@ test-chaos:
 	$(GO) test -race ./internal/faultnet/
 	$(GO) test -race -run 'Chaos|Fault|Rejoin|Quorum' ./internal/fednet/
 
-# fuzz-smoke gives the wire-frame decoder a bounded randomized beating on
-# every CI run; go test -fuzz takes over for longer campaigns.
+# test-codec runs the lossless compression stack: the codec unit tests
+# and the compressed-vs-raw federation equivalence tests (race on — they
+# drive concurrent socket rounds; -short keeps the quick-preset
+# acceptance run out of the CI budget, `go test ./...` still covers it).
+test-codec:
+	$(GO) test ./internal/codec/
+	$(GO) test -race -short -run 'Compressed' ./internal/fednet/
+
+# fuzz-smoke gives the wire-frame and codec decoders a bounded
+# randomized beating on every CI run; go test -fuzz takes over for
+# longer campaigns.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzReadMessage -fuzztime 10s ./internal/wire/
+	$(GO) test -run '^$$' -fuzz FuzzCodecRoundTrip -fuzztime 10s ./internal/codec/
 
 clean:
 	$(GO) clean ./...

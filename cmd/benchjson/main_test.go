@@ -42,6 +42,34 @@ func TestParse(t *testing.T) {
 	}
 }
 
+// TestParseWireBenchLines pins the units the wire-layer benchmarks
+// report: the per-round byte metric from BenchmarkRoundWireBytes and the
+// throughput metrics of the raw-vs-codec write/read benchmarks.
+func TestParseWireBenchLines(t *testing.T) {
+	const wire = `cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkRoundWireBytes/raw-4         	 1000000	      1045 ns/op	    327771 bytes/round
+BenchmarkRoundWireBytes/codec-4       	    2050	    582340 ns/op	     41795 bytes/round
+BenchmarkWireWriteUpdate/codec-4      	     352	   3394176 ns/op	  86.95 MB/s	 1724876 B/op	      24 allocs/op
+`
+	snap, err := parse(strings.NewReader(wire))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Results) != 3 {
+		t.Fatalf("%d results, want 3", len(snap.Results))
+	}
+	raw, codec := snap.Results[0], snap.Results[1]
+	if raw.Name != "BenchmarkRoundWireBytes/raw" || raw.Metrics["bytes/round"] != 327771 {
+		t.Fatalf("raw line parsed as %+v", raw)
+	}
+	if codec.Metrics["bytes/round"] != 41795 {
+		t.Fatalf("codec metrics %v", codec.Metrics)
+	}
+	if w := snap.Results[2]; w.Metrics["MB/s"] != 86.95 || w.Metrics["B/op"] != 1724876 {
+		t.Fatalf("write line metrics %v", w.Metrics)
+	}
+}
+
 func TestParseRejectsMalformed(t *testing.T) {
 	if _, err := parse(strings.NewReader("BenchmarkX notanumber 12 ns/op\n")); err == nil {
 		t.Fatal("malformed iteration count accepted")

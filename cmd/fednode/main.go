@@ -21,6 +21,12 @@
 //	fednode -mode server -min-clients 4 -round-timeout 2m -io-timeout 30s \
 //	        -retries 2 -register-timeout 5m ...
 //	fednode -mode client -redial 10 ...
+//
+// Lossless wire compression (decoder dedup, delta-encoded models, float
+// codec) engages when both endpoints pass -compress; either side
+// omitting the flag keeps that connection on raw frames, and results
+// are bit-identical in every combination. See the README's
+// "Communication efficiency" section.
 package main
 
 import (
@@ -50,6 +56,8 @@ func main() {
 
 		events    = flag.String("events", "", "server: write a structured JSONL event log to this path")
 		debugAddr = flag.String("debug-addr", "", "server: serve /metrics, /healthz, expvar and pprof on this address")
+		compress  = flag.Bool("compress", false,
+			"enable lossless wire compression (decoder dedup, delta encoding, float codec); negotiated, so both endpoints must pass it")
 
 		minClients = flag.Int("min-clients", 0,
 			"server: round quorum; > 0 drops unresponsive clients instead of aborting (0 = strict)")
@@ -68,7 +76,10 @@ func main() {
 
 	switch *mode {
 	case "client":
-		err := fednet.RunClientResilient(*addr, *id, fednet.ClientOptions{Redials: *redial})
+		err := fednet.RunClientResilient(*addr, *id, fednet.ClientOptions{
+			Redials:  *redial,
+			Compress: *compress,
+		})
 		if err != nil {
 			fatal(err)
 		}
@@ -80,7 +91,7 @@ func main() {
 			Retries:         *retries,
 			RegisterTimeout: *registerTimeout,
 		}
-		if err := runServer(*listen, *preset, *scenario, *strategy, *events, *debugAddr, ft); err != nil {
+		if err := runServer(*listen, *preset, *scenario, *strategy, *events, *debugAddr, *compress, ft); err != nil {
 			fatal(err)
 		}
 	default:
@@ -98,7 +109,7 @@ type faultTolerance struct {
 	RegisterTimeout time.Duration
 }
 
-func runServer(listen, preset, scenarioID, strategyName, events, debugAddr string, ft faultTolerance) error {
+func runServer(listen, preset, scenarioID, strategyName, events, debugAddr string, compress bool, ft faultTolerance) error {
 	setup, err := experiment.NewSetup(experiment.Preset(preset))
 	if err != nil {
 		return err
@@ -163,6 +174,8 @@ func runServer(listen, preset, scenarioID, strategyName, events, debugAddr strin
 		IOTimeout:          ft.IOTimeout,
 		MaxRetries:         ft.Retries,
 		RegisterTimeout:    ft.RegisterTimeout,
+
+		Compress: compress,
 	}
 	test := dataset.Generate(setup.TestSize, dataset.DefaultGenOptions(),
 		rng.New(rng.DeriveSeed(setup.Seed, "testdata", 0)))
@@ -180,9 +193,10 @@ func runServer(listen, preset, scenarioID, strategyName, events, debugAddr strin
 		ln.Addr(), setup.NumClients)
 
 	h, err := srv.Run(ln, func(rec fl.RoundRecord) {
-		line := fmt.Sprintf("round %3d  acc=%.4f  up=%.2fMB down=%.2fMB  %.2fs",
+		line := fmt.Sprintf("round %3d  acc=%.4f  up=%.2fMB down=%.2fMB  wire=%.2f/%.2fMB  %.2fs",
 			rec.Round, rec.TestAccuracy,
 			float64(rec.UploadBytes)/(1<<20), float64(rec.DownloadBytes)/(1<<20),
+			float64(rec.WireUploadBytes)/(1<<20), float64(rec.WireDownloadBytes)/(1<<20),
 			rec.Seconds)
 		if len(rec.Dropped) > 0 {
 			line += fmt.Sprintf("  dropped=%v", rec.Dropped)
@@ -193,8 +207,10 @@ func runServer(listen, preset, scenarioID, strategyName, events, debugAddr strin
 		return err
 	}
 	mean, std := h.LastNStats(setup.LastN)
-	fmt.Fprintf(os.Stderr, "done: final=%.4f  last-%d mean=%.4f ± %.4f\n",
-		h.FinalAccuracy(), setup.LastN, mean, std)
+	wireUp, wireDown := h.MeanWireBytes()
+	fmt.Fprintf(os.Stderr, "done: final=%.4f  last-%d mean=%.4f ± %.4f  wire=%.2f/%.2fMB per round\n",
+		h.FinalAccuracy(), setup.LastN, mean, std,
+		float64(wireUp)/(1<<20), float64(wireDown)/(1<<20))
 	return nil
 }
 

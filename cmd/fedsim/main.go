@@ -43,10 +43,12 @@ func main() {
 		metricsOut = flag.String("metrics-out", "", "write a JSON metrics snapshot to this path on exit")
 
 		// Accepted for CLI parity with fednode, where the fault-tolerance
-		// machinery lives. The in-process simulator has no network to
-		// tolerate faults on, so these only validate and warn.
+		// and wire-compression machinery live. The in-process simulator has
+		// no network to tolerate faults on or compress, so these only
+		// validate and warn.
 		minClients   = flag.Int("min-clients", 0, "round quorum (networked runs only; see fednode)")
 		roundTimeout = flag.Duration("round-timeout", 0, "round straggler budget (networked runs only; see fednode)")
+		compress     = flag.Bool("compress", false, "wire compression (networked runs only; see fednode)")
 	)
 	flag.Parse()
 
@@ -59,6 +61,10 @@ func main() {
 	if *minClients > 0 || *roundTimeout > 0 {
 		fmt.Fprintln(os.Stderr,
 			"fedsim: -min-clients/-round-timeout have no effect in-process; use fednode for fault-tolerant networked runs")
+	}
+	if *compress {
+		fmt.Fprintln(os.Stderr,
+			"fedsim: -compress has no effect in-process (nothing crosses a socket); use fednode for compressed networked runs")
 	}
 
 	if *list {
@@ -120,10 +126,12 @@ func main() {
 
 	mean, std := res.History.LastNStats(setup.LastN)
 	up, down := res.History.MeanBytes()
+	wireUp, wireDown := res.History.MeanWireBytes()
 	fmt.Fprintf(os.Stderr,
-		"done: final=%.4f  last-%d mean=%.4f ± %.4f  round-time=%.2fs  up=%.1fMB down=%.1fMB\n",
+		"done: final=%.4f  last-%d mean=%.4f ± %.4f  round-time=%.2fs  up=%.1fMB down=%.1fMB (dedup %.1f/%.1fMB)\n",
 		res.History.FinalAccuracy(), setup.LastN, mean, std,
-		res.History.MeanSeconds(), float64(up)/(1<<20), float64(down)/(1<<20))
+		res.History.MeanSeconds(), float64(up)/(1<<20), float64(down)/(1<<20),
+		float64(wireUp)/(1<<20), float64(wireDown)/(1<<20))
 
 	if *csv {
 		experiment.WriteSeriesCSV(os.Stdout, []*experiment.Result{res},

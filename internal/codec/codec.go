@@ -1,0 +1,251 @@
+// Package codec implements the lossless float32 compressor used by the
+// federation wire layer. Parameter vectors are split into four byte
+// planes (byte k of every little-endian float32 grouped together), and
+// each plane is run-length encoded with varint-framed tokens. The plane
+// transposition concentrates the low-entropy bytes — sign/exponent
+// bytes of same-magnitude weights, and the long zero runs that XOR
+// deltas of consecutive model versions produce — into contiguous runs
+// that RLE collapses, while decode(encode(x)) reproduces x bit for bit
+// (NaN payloads, negative zeros and denormals included).
+//
+// The package also provides the XOR-delta primitives the federation
+// uses to encode a vector against a reference both endpoints already
+// hold, and a content hash for payload deduplication. Nothing here is
+// lossy: every transform is an exact bijection on bit patterns.
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// DefaultMaxElems bounds the element count a Decode call will accept
+// when the caller does not supply a tighter cap. It matches the wire
+// layer's 256 MiB frame bound (64 Mi float32s).
+const DefaultMaxElems = 64 << 20
+
+// minRun is the shortest run of equal bytes worth a repeat token: a
+// repeat costs up to three token bytes plus the value byte, so shorter
+// runs are cheaper left inside a literal.
+const minRun = 4
+
+// allocChunk bounds how far ahead of the decoded bytes a plane buffer
+// grows, so a hostile count claim costs at most one chunk before the
+// missing tokens are detected.
+const allocChunk = 1 << 20
+
+// ErrCorrupt reports a blob that cannot be a codec encoding: truncated
+// tokens, a plane that over- or under-runs its length, or trailing
+// garbage.
+var ErrCorrupt = errors.New("codec: corrupt blob")
+
+// ErrTooLarge reports a blob whose declared element count exceeds the
+// decoder's cap.
+var ErrTooLarge = errors.New("codec: declared size exceeds limit")
+
+// Encode compresses vals into a self-describing blob. Empty input
+// yields a valid one-byte blob.
+func Encode(vals []float32) []byte {
+	return AppendEncode(nil, vals)
+}
+
+// AppendEncode appends the encoding of vals to dst and returns the
+// extended slice.
+func AppendEncode(dst []byte, vals []float32) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(vals)))
+	if len(vals) == 0 {
+		return dst
+	}
+	plane := make([]byte, len(vals))
+	for p := 0; p < 4; p++ {
+		shift := uint(8 * p)
+		for i, v := range vals {
+			plane[i] = byte(math.Float32bits(v) >> shift)
+		}
+		dst = appendPlane(dst, plane)
+	}
+	return dst
+}
+
+// appendPlane RLE-encodes one byte plane: a token stream of
+// varint(n<<1|1) + value (repeat runs) and varint(n<<1) + n bytes
+// (literals), covering exactly len(plane) bytes.
+func appendPlane(dst, plane []byte) []byte {
+	litStart := 0
+	i := 0
+	for i < len(plane) {
+		j := i + 1
+		for j < len(plane) && plane[j] == plane[i] {
+			j++
+		}
+		if j-i >= minRun {
+			if litStart < i {
+				dst = appendLiteral(dst, plane[litStart:i])
+			}
+			dst = binary.AppendUvarint(dst, uint64(j-i)<<1|1)
+			dst = append(dst, plane[i])
+			litStart = j
+		}
+		i = j
+	}
+	if litStart < len(plane) {
+		dst = appendLiteral(dst, plane[litStart:])
+	}
+	return dst
+}
+
+func appendLiteral(dst, lit []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(lit))<<1)
+	return append(dst, lit...)
+}
+
+// Decode reverses Encode. maxElems caps the declared element count
+// (<= 0 selects DefaultMaxElems); callers that know the expected vector
+// length should pass it so a corrupt or hostile blob cannot demand a
+// large allocation. Buffers grow incrementally, so allocation tracks
+// the bytes the token stream actually produces.
+func Decode(data []byte, maxElems int) ([]float32, error) {
+	if maxElems <= 0 {
+		maxElems = DefaultMaxElems
+	}
+	count, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: bad count varint", ErrCorrupt)
+	}
+	if count > uint64(maxElems) {
+		return nil, fmt.Errorf("%w: %d elements, cap %d", ErrTooLarge, count, maxElems)
+	}
+	data = data[n:]
+	if count == 0 {
+		if len(data) != 0 {
+			return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(data))
+		}
+		return []float32{}, nil
+	}
+	var planes [4][]byte
+	for p := 0; p < 4; p++ {
+		var err error
+		planes[p], data, err = decodePlane(data, int(count))
+		if err != nil {
+			return nil, fmt.Errorf("plane %d: %w", p, err)
+		}
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(data))
+	}
+	out := make([]float32, count)
+	for i := range out {
+		bits := uint32(planes[0][i]) | uint32(planes[1][i])<<8 |
+			uint32(planes[2][i])<<16 | uint32(planes[3][i])<<24
+		out[i] = math.Float32frombits(bits)
+	}
+	return out, nil
+}
+
+// decodePlane consumes tokens from data until exactly want bytes are
+// produced, returning the plane and the remaining input.
+func decodePlane(data []byte, want int) (plane, rest []byte, err error) {
+	plane = make([]byte, 0, min(want, allocChunk))
+	for len(plane) < want {
+		v, n := binary.Uvarint(data)
+		if n <= 0 {
+			return nil, nil, fmt.Errorf("%w: bad token varint", ErrCorrupt)
+		}
+		data = data[n:]
+		runLen := int(v >> 1)
+		if v>>1 > uint64(want-len(plane)) || runLen == 0 {
+			return nil, nil, fmt.Errorf("%w: token overruns plane", ErrCorrupt)
+		}
+		if v&1 == 1 { // repeat run
+			if len(data) < 1 {
+				return nil, nil, fmt.Errorf("%w: truncated repeat", ErrCorrupt)
+			}
+			plane = growPlane(plane, runLen)
+			b := data[0]
+			data = data[1:]
+			for i := len(plane) - runLen; i < len(plane); i++ {
+				plane[i] = b
+			}
+		} else { // literal run
+			if len(data) < runLen {
+				return nil, nil, fmt.Errorf("%w: truncated literal", ErrCorrupt)
+			}
+			plane = append(plane, data[:runLen]...)
+			data = data[runLen:]
+		}
+	}
+	return plane, data, nil
+}
+
+// growPlane extends plane by n zero bytes, growing capacity at most
+// allocChunk beyond the current length so claimed-but-unbacked sizes
+// stay cheap.
+func growPlane(plane []byte, n int) []byte {
+	for n > 0 {
+		k := min(n, allocChunk)
+		plane = append(plane, make([]byte, k)...)
+		n -= k
+	}
+	return plane
+}
+
+// XORInto writes the element-wise XOR of a and b's bit patterns into
+// dst (all three must share a length). XOR of two float vectors is the
+// delta transform: close values share sign, exponent and leading
+// mantissa bits, so the result is zero-heavy and compresses well, and
+// applying it twice restores the input exactly.
+func XORInto(dst, a, b []float32) {
+	_ = dst[len(a)-1]
+	_ = b[len(a)-1]
+	for i := range a {
+		dst[i] = math.Float32frombits(math.Float32bits(a[i]) ^ math.Float32bits(b[i]))
+	}
+}
+
+// EncodeDelta encodes cur as a compressed XOR delta against base. Both
+// sides must hold the identical base for DecodeDelta to reproduce cur.
+func EncodeDelta(cur, base []float32) ([]byte, error) {
+	if len(cur) != len(base) {
+		return nil, fmt.Errorf("codec: delta of %d elements against base of %d", len(cur), len(base))
+	}
+	if len(cur) == 0 {
+		return Encode(nil), nil
+	}
+	delta := make([]float32, len(cur))
+	XORInto(delta, cur, base)
+	return Encode(delta), nil
+}
+
+// DecodeDelta reverses EncodeDelta against the same base. The blob's
+// element count must equal len(base).
+func DecodeDelta(data []byte, base []float32) ([]float32, error) {
+	out, err := Decode(data, max(len(base), 1))
+	if err != nil {
+		return nil, err
+	}
+	if len(out) != len(base) {
+		return nil, fmt.Errorf("%w: delta has %d elements, base has %d", ErrCorrupt, len(out), len(base))
+	}
+	XORInto(out, out, base)
+	return out, nil
+}
+
+// Hash returns a content hash of the vector's bit patterns (FNV-1a 64
+// over the little-endian bytes). The zero value is reserved as "no
+// payload" by the wire protocol, so a zero digest is mapped to 1.
+func Hash(vals []float32) uint64 {
+	h := fnv.New64a()
+	var buf [4]byte
+	for _, v := range vals {
+		binary.LittleEndian.PutUint32(buf[:], math.Float32bits(v))
+		h.Write(buf[:])
+	}
+	sum := h.Sum64()
+	if sum == 0 {
+		return 1
+	}
+	return sum
+}

@@ -1,0 +1,76 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"fedguard/internal/rng"
+)
+
+// fuzzMaxElems keeps each fuzz iteration's worst-case allocation small:
+// the decoder may legitimately expand a few repeat-run bytes into the
+// full declared count, so the cap is the allocation bound.
+const fuzzMaxElems = 1 << 16
+
+// FuzzCodecRoundTrip drives both directions of the codec: well-formed
+// blobs (built by re-encoding whatever decodes) must round-trip
+// bit-exactly, and arbitrary garbage must produce an error — never a
+// panic, and never an allocation beyond the capped element count.
+func FuzzCodecRoundTrip(f *testing.F) {
+	// Seed corpus: encodings of the interesting shapes…
+	r := rng.New(11)
+	random := make([]float32, 512)
+	r.FillNormal(random, 0, 1)
+	near := make([]float32, 512)
+	for i := range near {
+		near[i] = random[i] * 1.0001
+	}
+	delta := make([]float32, len(random))
+	XORInto(delta, random, near)
+	for _, vals := range [][]float32{
+		nil,
+		{0},
+		{float32(math.NaN()), float32(math.Inf(-1)), math.Float32frombits(1)},
+		make([]float32, 300),
+		random,
+		delta,
+	} {
+		f.Add(Encode(vals))
+	}
+	// …plus hostile shapes: truncations, count lies, run overruns.
+	good := Encode(random)
+	f.Add(good[:len(good)/2])
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+	f.Add([]byte{100, 3, 0, 0})
+	f.Add(append(binary.AppendUvarint(nil, fuzzMaxElems), binary.AppendUvarint(nil, fuzzMaxElems<<1|1)...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vals, err := Decode(data, fuzzMaxElems)
+		if err != nil {
+			return
+		}
+		// Anything that decoded must re-encode to a canonical blob that
+		// decodes back to the identical bit patterns.
+		blob := Encode(vals)
+		again, err := Decode(blob, fuzzMaxElems)
+		if err != nil {
+			t.Fatalf("re-encoded blob does not decode: %v", err)
+		}
+		if len(again) != len(vals) {
+			t.Fatalf("round trip changed length: %d -> %d", len(vals), len(again))
+		}
+		for i := range vals {
+			if math.Float32bits(vals[i]) != math.Float32bits(again[i]) {
+				t.Fatalf("round trip drifted at %d: %08x -> %08x",
+					i, math.Float32bits(vals[i]), math.Float32bits(again[i]))
+			}
+		}
+		// The canonical encoding is a fixed point: encoding the decoded
+		// values again must reproduce the same bytes.
+		if !bytes.Equal(blob, Encode(again)) {
+			t.Fatal("canonical encoding is not a fixed point")
+		}
+	})
+}

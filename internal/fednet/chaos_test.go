@@ -42,6 +42,13 @@ func chaosConfig() Config {
 // delays — and then joins the client goroutines.
 func chaosClients(t *testing.T, addr string, plan *faultnet.Plan, n int, redial map[int]bool) (wait func()) {
 	t.Helper()
+	return chaosClientsOpts(t, addr, plan, n, redial, ClientOptions{})
+}
+
+// chaosClientsOpts is chaosClients with client-side options, so fault
+// runs can also exercise the compressed encodings.
+func chaosClientsOpts(t *testing.T, addr string, plan *faultnet.Plan, n int, redial map[int]bool, opts ClientOptions) (wait func()) {
+	t.Helper()
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var conns []net.Conn
@@ -59,7 +66,7 @@ func chaosClients(t *testing.T, addr string, plan *faultnet.Plan, n int, redial 
 				return
 			}
 			track(c)
-			err = ServeClient(c, id)
+			err = ServeClientOpts(c, id, opts)
 			c.Close()
 			if err == nil || !redial[id] {
 				return
@@ -69,7 +76,7 @@ func chaosClients(t *testing.T, addr string, plan *faultnet.Plan, n int, redial 
 				return
 			}
 			track(c2)
-			ServeClient(c2, id)
+			ServeClientOpts(c2, id, opts)
 			c2.Close()
 		}(id)
 	}
@@ -104,6 +111,13 @@ func chaosPlan(seed uint64) *faultnet.Plan {
 // history and collected events.
 func runChaos(t *testing.T, cfg Config, plan *faultnet.Plan, redial map[int]bool) (*fl.History, *telemetry.CollectSink) {
 	t.Helper()
+	return runChaosOpts(t, cfg, plan, redial, ClientOptions{})
+}
+
+// runChaosOpts is runChaos with client-side options (compression and
+// redial behavior).
+func runChaosOpts(t *testing.T, cfg Config, plan *faultnet.Plan, redial map[int]bool, opts ClientOptions) (*fl.History, *telemetry.CollectSink) {
+	t.Helper()
 	sink := &telemetry.CollectSink{}
 	cfg.Telemetry = telemetry.New(sink)
 	test := dataset.Generate(40, dataset.DefaultGenOptions(), rng.New(5))
@@ -116,7 +130,7 @@ func runChaos(t *testing.T, cfg Config, plan *faultnet.Plan, redial map[int]bool
 		t.Fatal(err)
 	}
 	defer ln.Close()
-	wait := chaosClients(t, ln.Addr().String(), plan, cfg.Experiment.NumClients, redial)
+	wait := chaosClientsOpts(t, ln.Addr().String(), plan, cfg.Experiment.NumClients, redial, opts)
 	h, err := srv.Run(ln, nil)
 	wait()
 	if err != nil {
@@ -373,5 +387,57 @@ func TestPartialRegistrationQuorum(t *testing.T) {
 		if d := ev.(telemetry.ClientDropped); d.Reason != "disconnected" {
 			t.Fatalf("drop reason %q, want %q", d.Reason, "disconnected")
 		}
+	}
+}
+
+// TestChaosCompressedMatchesRaw pins the compression layer under fault
+// injection: a compressed federation and a raw one, driven by the same
+// fault seed, must drop the same clients in the same rounds and finish
+// with byte-identical weights — corruption surfaces as checksum-failed
+// frames (drop reason "protocol"), never as silently-wrong decoded
+// weights. The plan uses only write-count-independent faults (a
+// straggler and a corruptor): compressed frames split into different
+// write counts than raw frames, so a DropAfterWrites crasher would
+// legitimately diverge between the two runs.
+func TestChaosCompressedMatchesRaw(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second fault-injection run")
+	}
+	plan := func(seed uint64) *faultnet.Plan {
+		return &faultnet.Plan{
+			Seed: seed,
+			Peers: map[int]faultnet.PeerPlan{
+				1: {SkipWrites: 1, WriteDelay: 5 * time.Minute},
+				2: {SkipWrites: 1, CorruptProb: 1},
+			},
+		}
+	}
+	raw, _ := runChaos(t, chaosConfig(), plan(7), nil)
+
+	ccfg := chaosConfig()
+	ccfg.Compress = true
+	comp, sink := runChaosOpts(t, ccfg, plan(7), nil, ClientOptions{Compress: true})
+
+	if len(raw.Rounds) != len(comp.Rounds) {
+		t.Fatalf("round counts differ: %d vs %d", len(raw.Rounds), len(comp.Rounds))
+	}
+	for i := range raw.Rounds {
+		if !reflect.DeepEqual(raw.Rounds[i].Dropped, comp.Rounds[i].Dropped) {
+			t.Fatalf("round %d exclusion differs: raw %v, compressed %v",
+				i+1, raw.Rounds[i].Dropped, comp.Rounds[i].Dropped)
+		}
+	}
+	if !reflect.DeepEqual(raw.FinalWeights, comp.FinalWeights) {
+		t.Fatal("same fault seed: compressed final weights diverge from raw")
+	}
+	sawCorruptorDrop := false
+	for _, ev := range sink.ByKind("ClientDropped") {
+		d := ev.(telemetry.ClientDropped)
+		if d.ClientID == 2 && d.Reason == "protocol" {
+			sawCorruptorDrop = true
+		}
+	}
+	if !sawCorruptorDrop {
+		t.Fatal("corruptor was never dropped with reason \"protocol\"")
 	}
 }

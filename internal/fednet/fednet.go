@@ -43,6 +43,7 @@ import (
 
 	"fedguard/internal/attack"
 	"fedguard/internal/classifier"
+	"fedguard/internal/codec"
 	"fedguard/internal/cvae"
 	"fedguard/internal/dataset"
 	"fedguard/internal/fl"
@@ -93,6 +94,17 @@ type Config struct {
 	// run starts without the missing ones (they may still rejoin);
 	// with fewer, the run fails. 0 waits for all clients forever.
 	RegisterTimeout time.Duration
+
+	// Compress enables the communication-efficiency layer for clients
+	// that also advertise it: broadcasts travel as codec-compressed XOR
+	// deltas against the previous global each connection holds, client
+	// updates as deltas against the round's broadcast, and decoder
+	// payloads are deduplicated by content hash (a static decoder crosses
+	// the wire once per run instead of once per participation). All of it
+	// is lossless — results are bit-identical to raw framing — and
+	// negotiated per connection, so compression-off peers interoperate
+	// unchanged. false (the default) keeps raw frames for everyone.
+	Compress bool
 }
 
 // tolerant reports whether graceful degradation is enabled.
@@ -135,6 +147,22 @@ type Server struct {
 
 	parts     [][]int
 	malicious map[int]bool
+
+	// Compressed-path reference state. initGlobal is ψ₀, the delta base
+	// every fresh connection starts from (both endpoints derive it from
+	// the seed, so it never crosses the wire). decoders caches each
+	// client's last decoder payload by content hash — it outlives
+	// connections, so a rejoining client's unchanged decoder still
+	// dedups. decoderSize is the trusted decode cap for decoder blobs.
+	initGlobal  []float32
+	decoders    map[int]*decoderCache // guarded by mu
+	decoderSize int
+}
+
+// decoderCache is one client's last-delivered decoder payload.
+type decoderCache struct {
+	hash   uint64
+	params []float32
 }
 
 // NewServer validates the configuration and returns a server. test is
@@ -178,6 +206,20 @@ type clientConn struct {
 	conn  net.Conn
 	count *wire.CountingConn
 	mu    sync.Mutex // one in-flight request at a time per client
+
+	// enc marks a connection that negotiated the compressed encodings.
+	enc bool
+	// Delta base for the next broadcast on this connection: the global of
+	// the last round a TrainRequestC was built for (nil = fresh
+	// connection, base ψ₀). The client mirrors this state — it decodes
+	// each round's request exactly once, in order, so both ends always
+	// agree on the base. Guarded by mu.
+	baseVec   []float32
+	baseRound uint32
+	// lastTR caches the round's encoded request so retries resend
+	// byte-identical frames (a re-encode against a moved base would
+	// desynchronize the client). Guarded by mu.
+	lastTR *wire.TrainRequestC
 }
 
 func (c *clientConn) send(msg any) error {
@@ -191,6 +233,12 @@ func (c *clientConn) recv() (any, error) {
 // errNotConnected marks a sampled client with no live connection.
 var errNotConnected = errors.New("fednet: client not connected")
 
+// errProtocol marks a peer that violated the negotiated protocol: a
+// codec blob that fails to decode behind a valid checksum, a decoder
+// token for a payload the server never cached, or a hash that does not
+// match its bytes. Not transient — retrying would replay the violation.
+var errProtocol = errors.New("fednet: protocol violation")
+
 // Run accepts client registrations on ln, configures them, drives R
 // federated rounds, and returns the full history. onRound, if non-nil,
 // fires after every round.
@@ -199,6 +247,11 @@ func (s *Server) Run(ln net.Listener, onRound func(fl.RoundRecord)) (*fl.History
 	train := dataset.Generate(s.cfg.TrainSize, dataset.DefaultGenOptions(), rng.New(s.cfg.DataSeed))
 	s.parts = fl.Partition(train, cfg)
 	s.malicious = fl.MaliciousPlacement(cfg)
+	s.initGlobal = fl.InitialGlobal(cfg)
+	s.decoders = make(map[int]*decoderCache)
+	dcfg := cfg.Client.CVAE
+	dcfg.Input = dataset.ImageH * dataset.ImageW
+	s.decoderSize = cvae.DecoderSize(dcfg)
 
 	if err := s.register(ln); err != nil {
 		return nil, err
@@ -231,7 +284,7 @@ func (s *Server) Run(ln net.Listener, onRound func(fl.RoundRecord)) (*fl.History
 	}()
 
 	serverRNG := rng.New(rng.DeriveSeed(cfg.Seed, "server", 0))
-	global := fl.InitialGlobal(cfg)
+	global := s.initGlobal
 	evalModel, err := classifier.ByName(s.cfg.ArchName)
 	if err != nil {
 		return nil, err
@@ -303,10 +356,17 @@ func (s *Server) Run(ln net.Listener, onRound func(fl.RoundRecord)) (*fl.History
 		stopAgg()
 		aggSecs := time.Since(aggStart).Seconds()
 
-		// Measured wire traffic this round, all clients combined. From the
+		// Byte accounting, both ways: the logical columns follow the
+		// paper's Table V (full payload sizes at 4 bytes per parameter);
+		// the wire columns are *measured* from the sockets — framing,
+		// retries, and every compression saving included. From the
 		// server's perspective writes are uploads, reads are downloads.
 		read, written := s.totalBytes()
 		s.publishPeerBytes()
+		var logicalDown int64
+		for _, u := range updates {
+			logicalDown += int64(len(u.Weights)+len(u.Decoder)) * 4
+		}
 		maliciousSampled := 0
 		for _, id := range sampled {
 			if s.malicious[id] {
@@ -314,15 +374,17 @@ func (s *Server) Run(ln net.Listener, onRound func(fl.RoundRecord)) (*fl.History
 			}
 		}
 		rec := fl.RoundRecord{
-			Round:            round,
-			TrainSeconds:     trainSecs,
-			AggregateSeconds: aggSecs,
-			UploadBytes:      written - lastWritten,
-			DownloadBytes:    read - lastRead,
-			Sampled:          sampled,
-			MaliciousSampled: maliciousSampled,
-			Dropped:          dropped,
-			Report:           ctx.Report,
+			Round:             round,
+			TrainSeconds:      trainSecs,
+			AggregateSeconds:  aggSecs,
+			UploadBytes:       int64(cfg.PerRound) * int64(len(global)) * 4,
+			DownloadBytes:     logicalDown,
+			WireUploadBytes:   written - lastWritten,
+			WireDownloadBytes: read - lastRead,
+			Sampled:           sampled,
+			MaliciousSampled:  maliciousSampled,
+			Dropped:           dropped,
+			Report:            ctx.Report,
 		}
 		lastRead, lastWritten = read, written
 
@@ -441,7 +503,8 @@ func dropReason(err error) string {
 		return "disconnected"
 	case errors.As(err, &ne) && ne.Timeout():
 		return "timeout"
-	case errors.Is(err, wire.ErrChecksum) || errors.Is(err, wire.ErrBadFrame):
+	case errors.Is(err, wire.ErrChecksum) || errors.Is(err, wire.ErrBadFrame) ||
+		errors.Is(err, errProtocol):
 		return "protocol"
 	default:
 		return "transport"
@@ -533,15 +596,24 @@ func (s *Server) trainOne(c *clientConn, round int, needDecoder bool, global []f
 	return fl.Update{}, lastErr
 }
 
-// requestOnce performs a single TrainRequest/Update exchange under the
+// requestOnce performs a single request/update exchange under the
 // configured deadlines, skipping stale updates left over from earlier
-// retried rounds.
+// retried rounds. The request shape follows the connection's negotiated
+// encoding: raw TrainRequest/Update, or the compressed variants.
 func (s *Server) requestOnce(c *clientConn, round int, needDecoder bool, global []float32, deadline time.Time) (fl.Update, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.conn.SetDeadline(s.opDeadline(deadline))
 	defer c.conn.SetDeadline(time.Time{})
-	req := &wire.TrainRequest{Round: uint32(round), NeedDecoder: needDecoder, Global: global}
+	var req any
+	if c.enc {
+		var err error
+		if req, err = s.buildRequestC(c, round, needDecoder, global); err != nil {
+			return fl.Update{}, err
+		}
+	} else {
+		req = &wire.TrainRequest{Round: uint32(round), NeedDecoder: needDecoder, Global: global}
+	}
 	if err := c.send(req); err != nil {
 		return fl.Update{}, err
 	}
@@ -552,6 +624,19 @@ func (s *Server) requestOnce(c *clientConn, round int, needDecoder bool, global 
 		msg, err := c.recv()
 		if err != nil {
 			return fl.Update{}, err
+		}
+		if c.enc {
+			u, ok := msg.(*wire.UpdateC)
+			if !ok {
+				return fl.Update{}, fmt.Errorf("%w: expected UpdateC, got %T", errProtocol, msg)
+			}
+			if u.Round < uint32(round) {
+				continue
+			}
+			if u.Round != uint32(round) {
+				return fl.Update{}, fmt.Errorf("fednet: update for round %d, expected %d", u.Round, round)
+			}
+			return s.decodeUpdateC(c, u, global)
 		}
 		u, ok := msg.(*wire.Update)
 		if !ok {
@@ -580,6 +665,118 @@ func (s *Server) requestOnce(c *clientConn, round int, needDecoder bool, global 
 		return out, nil
 	}
 	return fl.Update{}, fmt.Errorf("fednet: too many stale updates from client %d", c.id)
+}
+
+// buildRequestC assembles (and caches) the round's compressed broadcast
+// for one connection: the global delta-encoded against the last global
+// this connection received (ψ₀ on a fresh connection), plus the decoder
+// hash the server already holds for this client so the update can dedup.
+// Retries of the same round reuse the cached request verbatim — a
+// re-encode against a moved base would desynchronize the peer.
+// Caller holds c.mu.
+func (s *Server) buildRequestC(c *clientConn, round int, needDecoder bool, global []float32) (*wire.TrainRequestC, error) {
+	if c.lastTR != nil && c.lastTR.Round == uint32(round) {
+		return c.lastTR, nil
+	}
+	base := c.baseVec
+	baseRound := c.baseRound
+	if base == nil {
+		base, baseRound = s.initGlobal, 0
+	}
+	payload, err := codec.EncodeDelta(global, base)
+	if err != nil {
+		return nil, err
+	}
+	var hash uint64
+	s.mu.Lock()
+	if e := s.decoders[c.id]; e != nil {
+		hash = e.hash
+	}
+	s.mu.Unlock()
+	tr := &wire.TrainRequestC{
+		Round:       uint32(round),
+		NeedDecoder: needDecoder,
+		DecoderHash: hash,
+		Encoding:    wire.EncDelta,
+		BaseRound:   baseRound,
+		NumParams:   uint32(len(global)),
+		Payload:     payload,
+	}
+	c.lastTR = tr
+	c.baseVec = global
+	c.baseRound = uint32(round)
+	return tr, nil
+}
+
+// decodeUpdateC reverses the client's compressed update: weights are a
+// codec blob (usually a delta against this round's broadcast, which the
+// server still holds), and the decoder arrives either as bytes (cached
+// for future dedup, after verifying the declared hash) or as a
+// hash-only token resolved from the cache. Every violation is
+// errProtocol — the checksum already passed, so a bad blob is a peer
+// bug, not line noise.
+func (s *Server) decodeUpdateC(c *clientConn, u *wire.UpdateC, global []float32) (fl.Update, error) {
+	if int(u.NumParams) != len(global) {
+		return fl.Update{}, fmt.Errorf("%w: update of %d params, model has %d",
+			errProtocol, u.NumParams, len(global))
+	}
+	var weights []float32
+	var err error
+	switch u.Encoding {
+	case wire.EncDelta:
+		weights, err = codec.DecodeDelta(u.Weights, global)
+	case wire.EncCodec:
+		weights, err = codec.Decode(u.Weights, len(global))
+		if err == nil && len(weights) != len(global) {
+			err = fmt.Errorf("decoded %d params", len(weights))
+		}
+	default:
+		err = fmt.Errorf("unknown encoding %d", u.Encoding)
+	}
+	if err != nil {
+		return fl.Update{}, fmt.Errorf("%w: weights: %v", errProtocol, err)
+	}
+	out := fl.Update{
+		ClientID:   int(u.ClientID),
+		Weights:    weights,
+		NumSamples: int(u.NumSamples),
+	}
+	if u.DecoderHash != 0 {
+		var dec []float32
+		if len(u.Decoder) > 0 {
+			if int(u.NumDecoderParams) != s.decoderSize {
+				return fl.Update{}, fmt.Errorf("%w: decoder of %d params, expected %d",
+					errProtocol, u.NumDecoderParams, s.decoderSize)
+			}
+			dec, err = codec.Decode(u.Decoder, s.decoderSize)
+			if err != nil || len(dec) != s.decoderSize {
+				return fl.Update{}, fmt.Errorf("%w: decoder blob: %v", errProtocol, err)
+			}
+			if codec.Hash(dec) != u.DecoderHash {
+				return fl.Update{}, fmt.Errorf("%w: decoder hash mismatch", errProtocol)
+			}
+			s.mu.Lock()
+			s.decoders[c.id] = &decoderCache{hash: u.DecoderHash, params: dec}
+			s.mu.Unlock()
+		} else {
+			s.mu.Lock()
+			entry := s.decoders[c.id]
+			s.mu.Unlock()
+			if entry == nil || entry.hash != u.DecoderHash {
+				return fl.Update{}, fmt.Errorf("%w: decoder token %016x not cached",
+					errProtocol, u.DecoderHash)
+			}
+			dec = entry.params
+		}
+		out.Decoder = dec
+		if len(u.DecoderClasses) > 0 {
+			out.DecoderClasses = make([]int, len(u.DecoderClasses))
+			for i, v := range u.DecoderClasses {
+				out.DecoderClasses[i] = int(v)
+			}
+		}
+	}
+	return out, nil
 }
 
 // opDeadline combines the per-message IOTimeout with the round deadline
@@ -693,7 +890,17 @@ func (s *Server) handshake(conn net.Conn) (*clientConn, error) {
 			tel.SetGauge("fedguard_peer_bytes_written", float64(written), l)
 		})
 	}
-	if err := c.send(s.setupFor(id, s.parts[id], s.malicious[id])); err != nil {
+	setup := s.setupFor(id, s.parts[id], s.malicious[id])
+	// Negotiate the compressed encodings: only when this server opts in
+	// AND the client advertised the capability. Either side staying
+	// silent keeps the connection on raw frames — and a fresh connection
+	// always restarts from the ψ₀ delta base, which is what makes rejoin
+	// after a drop safe.
+	if s.cfg.Compress && hello.Encodings&wire.CapCodec != 0 {
+		c.enc = true
+		setup.Encodings = wire.CapCodec
+	}
+	if err := c.send(setup); err != nil {
 		return nil, fmt.Errorf("fednet: sending setup to %d: %w", id, err)
 	}
 	return c, nil
@@ -779,15 +986,19 @@ func (s *Server) setupFor(id int, indices []int, isMalicious bool) *wire.Setup {
 // RunClient connects to addr, registers as clientID, and serves training
 // requests until the server shuts the session down.
 func RunClient(addr string, clientID int) error {
+	return runClientOnce(addr, clientID, ClientOptions{})
+}
+
+func runClientOnce(addr string, clientID int, opts ClientOptions) error {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("fednet: dial %s: %w", addr, err)
 	}
 	defer conn.Close()
-	return ServeClient(conn, clientID)
+	return ServeClientOpts(conn, clientID, opts)
 }
 
-// ClientOptions tune client-side fault tolerance.
+// ClientOptions tune client-side fault tolerance and wire encoding.
 type ClientOptions struct {
 	// Redials bounds reconnection attempts after a broken session
 	// (0 = fail on the first error, like RunClient).
@@ -795,6 +1006,11 @@ type ClientOptions struct {
 	// RedialBackoff is the sleep between reconnection attempts
 	// (default 250ms).
 	RedialBackoff time.Duration
+	// Compress advertises the codec capability during registration; the
+	// compressed path is used only when the server opts in too, so a
+	// compress-on client against a compress-off (or legacy) server just
+	// runs raw frames.
+	Compress bool
 }
 
 // RunClientResilient is RunClient with a reconnect loop: when the
@@ -806,18 +1022,30 @@ func RunClientResilient(addr string, clientID int, opts ClientOptions) error {
 	if backoff <= 0 {
 		backoff = 250 * time.Millisecond
 	}
-	err := RunClient(addr, clientID)
+	err := runClientOnce(addr, clientID, opts)
 	for attempt := 0; err != nil && attempt < opts.Redials; attempt++ {
 		time.Sleep(backoff)
-		err = RunClient(addr, clientID)
+		err = runClientOnce(addr, clientID, opts)
 	}
 	return err
 }
 
 // ServeClient speaks the client side of the protocol over an existing
-// connection (exposed for tests and in-process loopback demos).
+// connection (exposed for tests and in-process loopback demos), with
+// raw framing.
 func ServeClient(conn net.Conn, clientID int) error {
-	if err := wire.WriteMessage(conn, &wire.Hello{ClientID: uint32(clientID)}); err != nil {
+	return ServeClientOpts(conn, clientID, ClientOptions{})
+}
+
+// ServeClientOpts is ServeClient with options: when opts.Compress is set
+// and the server's Setup confirms the capability, all round traffic uses
+// the compressed message types.
+func ServeClientOpts(conn net.Conn, clientID int, opts ClientOptions) error {
+	hello := &wire.Hello{ClientID: uint32(clientID)}
+	if opts.Compress {
+		hello.Encodings = wire.CapCodec
+	}
+	if err := wire.WriteMessage(conn, hello); err != nil {
 		return err
 	}
 	msg, err := wire.ReadMessage(conn)
@@ -832,6 +1060,9 @@ func ServeClient(conn net.Conn, clientID int) error {
 	client, err := buildClient(clientID, setup)
 	if err != nil {
 		return err
+	}
+	if opts.Compress && setup.Encodings&wire.CapCodec != 0 {
+		return serveCompressed(conn, clientID, setup, client)
 	}
 
 	// The last computed update, kept so a server re-request for the same
@@ -864,6 +1095,95 @@ func ServeClient(conn net.Conn, clientID int) error {
 				}
 				last = resp
 			}
+			if err := wire.WriteMessage(conn, resp); err != nil {
+				return fmt.Errorf("fednet: client %d write: %w", clientID, err)
+			}
+		case *wire.Shutdown:
+			return nil
+		default:
+			return fmt.Errorf("fednet: client %d: unexpected %T", clientID, msg)
+		}
+	}
+}
+
+// serveCompressed is the client round loop over the negotiated codec
+// encodings. The client mirrors the server's per-connection reference
+// state: it starts from the locally derived ψ₀ and advances its delta
+// base exactly once per distinct round — a duplicate request (the
+// server retrying after a timeout or corrupt frame) is answered from
+// the cached response without decoding, so the base never moves twice.
+func serveCompressed(conn net.Conn, clientID int, setup *wire.Setup, client *fl.Client) error {
+	arch, err := classifier.ByName(setup.ArchName)
+	if err != nil {
+		return err
+	}
+	base := fl.InitialGlobalFrom(arch, setup.Seed) // ψ₀, round 0
+	baseRound := uint32(0)
+	var last *wire.UpdateC
+	for {
+		msg, err := wire.ReadMessage(conn)
+		if err != nil {
+			return fmt.Errorf("fednet: client %d read: %w", clientID, err)
+		}
+		switch m := msg.(type) {
+		case *wire.TrainRequestC:
+			if last != nil && last.Round == m.Round {
+				if err := wire.WriteMessage(conn, last); err != nil {
+					return fmt.Errorf("fednet: client %d write: %w", clientID, err)
+				}
+				continue
+			}
+			var global []float32
+			switch m.Encoding {
+			case wire.EncDelta:
+				if m.BaseRound != baseRound {
+					return fmt.Errorf("fednet: client %d: delta base round %d, holding %d",
+						clientID, m.BaseRound, baseRound)
+				}
+				global, err = codec.DecodeDelta(m.Payload, base)
+			case wire.EncCodec:
+				global, err = codec.Decode(m.Payload, int(m.NumParams))
+			default:
+				err = fmt.Errorf("unknown encoding %d", m.Encoding)
+			}
+			if err == nil && len(global) != int(m.NumParams) {
+				err = fmt.Errorf("decoded %d params, header says %d", len(global), m.NumParams)
+			}
+			if err != nil {
+				return fmt.Errorf("fednet: client %d broadcast: %w", clientID, err)
+			}
+
+			u := client.RunRound(global, m.NeedDecoder)
+			blob, err := codec.EncodeDelta(u.Weights, global)
+			if err != nil {
+				return fmt.Errorf("fednet: client %d encode: %w", clientID, err)
+			}
+			resp := &wire.UpdateC{
+				Round:      m.Round,
+				ClientID:   uint32(u.ClientID),
+				NumSamples: uint32(u.NumSamples),
+				Encoding:   wire.EncDelta,
+				NumParams:  uint32(len(u.Weights)),
+				Weights:    blob,
+			}
+			if len(u.Decoder) > 0 {
+				h := codec.Hash(u.Decoder)
+				resp.DecoderHash = h
+				// Dedup: attach decoder bytes only when the server's cache
+				// (advertised in the request) is stale or absent.
+				if h != m.DecoderHash {
+					resp.NumDecoderParams = uint32(len(u.Decoder))
+					resp.Decoder = codec.Encode(u.Decoder)
+				}
+				if len(u.DecoderClasses) > 0 {
+					resp.DecoderClasses = make([]uint32, len(u.DecoderClasses))
+					for i, v := range u.DecoderClasses {
+						resp.DecoderClasses[i] = uint32(v)
+					}
+				}
+			}
+			base, baseRound = global, m.Round
+			last = resp
 			if err := wire.WriteMessage(conn, resp); err != nil {
 				return fmt.Errorf("fednet: client %d write: %w", clientID, err)
 			}

@@ -2,6 +2,7 @@ package fednet
 
 import (
 	"net"
+	"reflect"
 	"strconv"
 	"sync"
 	"testing"
@@ -11,6 +12,7 @@ import (
 	"fedguard/internal/classifier"
 	"fedguard/internal/cvae"
 	"fedguard/internal/dataset"
+	"fedguard/internal/experiment"
 	"fedguard/internal/fl"
 	"fedguard/internal/rng"
 	"fedguard/internal/telemetry"
@@ -44,6 +46,13 @@ func testConfig() Config {
 // runLoopback starts a server on a loopback listener, connects all
 // clients, and returns the resulting history.
 func runLoopback(t *testing.T, cfg Config, strategy fl.Strategy, test *dataset.Dataset) *fl.History {
+	return runLoopbackOpts(t, cfg, strategy, test, ClientOptions{})
+}
+
+// runLoopbackOpts is runLoopback with client-side options (e.g. the
+// compression capability), so tests can pair any server and client
+// encoding stance.
+func runLoopbackOpts(t *testing.T, cfg Config, strategy fl.Strategy, test *dataset.Dataset, opts ClientOptions) *fl.History {
 	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -62,7 +71,13 @@ func runLoopback(t *testing.T, cfg Config, strategy fl.Strategy, test *dataset.D
 		clientWG.Add(1)
 		go func(id int) {
 			defer clientWG.Done()
-			clientErrs[id] = RunClient(ln.Addr().String(), id)
+			conn, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				clientErrs[id] = err
+				return
+			}
+			defer conn.Close()
+			clientErrs[id] = ServeClientOpts(conn, id, opts)
 		}(id)
 	}
 
@@ -171,6 +186,179 @@ func (f *fakeNeedsDecoders) Aggregate(ctx *fl.RoundContext) ([]float32, error) {
 		}
 	}
 	return aggregate.WeightedMean(ctx.Updates)
+}
+
+// wireTotals sums the measured (and logical) traffic over a run.
+func wireTotals(h *fl.History) (wire, logical int64) {
+	for _, rec := range h.Rounds {
+		wire += rec.WireUploadBytes + rec.WireDownloadBytes
+		logical += rec.UploadBytes + rec.DownloadBytes
+	}
+	return wire, logical
+}
+
+// TestCompressedLoopbackMatchesRaw pins the tentpole property: a
+// compressed run is bit-identical to a raw run of the same experiment,
+// while moving strictly fewer bytes over the sockets.
+func TestCompressedLoopbackMatchesRaw(t *testing.T) {
+	cfg := testConfig()
+	cfg.AttackName = "sign-flip"
+	cfg.Experiment.MaliciousFraction = 0.4
+	test := dataset.Generate(40, dataset.DefaultGenOptions(), rng.New(5))
+
+	raw := runLoopback(t, cfg, aggregate.NewFedAvg(), test)
+
+	ccfg := cfg
+	ccfg.Compress = true
+	comp := runLoopbackOpts(t, ccfg, aggregate.NewFedAvg(), test, ClientOptions{Compress: true})
+
+	if len(raw.Rounds) != len(comp.Rounds) {
+		t.Fatalf("round counts differ: %d vs %d", len(raw.Rounds), len(comp.Rounds))
+	}
+	for i := range raw.Rounds {
+		if raw.Rounds[i].TestAccuracy != comp.Rounds[i].TestAccuracy {
+			t.Fatalf("round %d accuracy: raw %v, compressed %v",
+				i+1, raw.Rounds[i].TestAccuracy, comp.Rounds[i].TestAccuracy)
+		}
+	}
+	if !reflect.DeepEqual(raw.FinalWeights, comp.FinalWeights) {
+		t.Fatal("compressed run diverged from raw final weights")
+	}
+	rawWire, _ := wireTotals(raw)
+	compWire, _ := wireTotals(comp)
+	if compWire <= 0 || rawWire <= 0 {
+		t.Fatalf("unmeasured wire traffic: raw %d, compressed %d", rawWire, compWire)
+	}
+	if compWire >= rawWire {
+		t.Fatalf("compression saved nothing: raw %d bytes, compressed %d", rawWire, compWire)
+	}
+}
+
+// TestCompressedMixedPeers pins negotiation compatibility: a
+// compression-capable server with raw clients, and a raw server with
+// compression-capable clients, both complete with raw semantics and the
+// exact raw result.
+func TestCompressedMixedPeers(t *testing.T) {
+	cfg := testConfig()
+	test := dataset.Generate(40, dataset.DefaultGenOptions(), rng.New(5))
+	baseline := runLoopback(t, cfg, aggregate.NewFedAvg(), test)
+
+	ccfg := cfg
+	ccfg.Compress = true
+	serverOnly := runLoopbackOpts(t, ccfg, aggregate.NewFedAvg(), test, ClientOptions{})
+	if !reflect.DeepEqual(baseline.FinalWeights, serverOnly.FinalWeights) {
+		t.Fatal("compress-capable server with raw clients diverged from raw run")
+	}
+
+	clientOnly := runLoopbackOpts(t, cfg, aggregate.NewFedAvg(), test, ClientOptions{Compress: true})
+	if !reflect.DeepEqual(baseline.FinalWeights, clientOnly.FinalWeights) {
+		t.Fatal("raw server with compress-capable clients diverged from raw run")
+	}
+}
+
+// TestCompressedLoopbackFedGuardDedup drives decoder payloads over the
+// compressed path: results stay identical to raw, and decoder dedup plus
+// the codec push the measured bytes below the logical Table V sizes.
+func TestCompressedLoopbackFedGuardDedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains CVAEs over the network")
+	}
+	cfg := testConfig()
+	test := dataset.Generate(40, dataset.DefaultGenOptions(), rng.New(5))
+	rawGuard := &fakeNeedsDecoders{}
+	raw := runLoopback(t, cfg, rawGuard, test)
+
+	ccfg := cfg
+	ccfg.Compress = true
+	compGuard := &fakeNeedsDecoders{}
+	comp := runLoopbackOpts(t, ccfg, compGuard, test, ClientOptions{Compress: true})
+
+	if !compGuard.sawDecoder {
+		t.Fatal("decoder payloads did not reach the strategy through the compressed path")
+	}
+	if !reflect.DeepEqual(raw.FinalWeights, comp.FinalWeights) {
+		t.Fatal("compressed decoder run diverged from raw final weights")
+	}
+	compWire, compLogical := wireTotals(comp)
+	if compWire >= compLogical {
+		t.Fatalf("measured %d bytes not below logical %d despite dedup and codec",
+			compWire, compLogical)
+	}
+}
+
+// TestCompressedQuickPresetFedGuard is the acceptance run: a networked
+// FedGuard federation on the quick experiment preset, compressed,
+// byte-identical to both the raw networked run and the in-process
+// simulator — at no more than half the raw run's measured wire bytes.
+func TestCompressedQuickPresetFedGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three full quick-preset federations")
+	}
+	setup, err := experiment.NewSetup(experiment.Preset("quick"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Experiment: fl.FederationConfig{
+			NumClients: setup.NumClients,
+			PerRound:   setup.PerRound,
+			Rounds:     setup.Rounds,
+			Alpha:      setup.Alpha,
+			ServerLR:   setup.ServerLR,
+			Client: fl.ClientConfig{
+				Arch:       setup.Arch,
+				Train:      setup.Train,
+				CVAE:       setup.CVAE,
+				CVAETrain:  setup.CVAETrain,
+				NumClasses: 10,
+			},
+			TestSubset: setup.TestSubset,
+			Seed:       setup.Seed,
+		},
+		ArchName:  setup.ArchName,
+		DataSeed:  rng.DeriveSeed(setup.Seed, "traindata", 0),
+		TrainSize: setup.TrainSize,
+	}
+	test := dataset.Generate(setup.TestSize, dataset.DefaultGenOptions(),
+		rng.New(rng.DeriveSeed(setup.Seed, "testdata", 0)))
+	newGuard := func() fl.Strategy {
+		s, err := experiment.NewStrategy("FedGuard", setup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	raw := runLoopback(t, cfg, newGuard(), test)
+
+	ccfg := cfg
+	ccfg.Compress = true
+	comp := runLoopbackOpts(t, ccfg, newGuard(), test, ClientOptions{Compress: true})
+
+	train := dataset.Generate(cfg.TrainSize, dataset.DefaultGenOptions(), rng.New(cfg.DataSeed))
+	fed, err := fl.NewFederation(train, test, cfg.Experiment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inHist, err := fed.Run(newGuard(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(raw.FinalWeights, comp.FinalWeights) {
+		t.Fatal("compressed networked run diverged from raw networked run")
+	}
+	if !reflect.DeepEqual(comp.FinalWeights, inHist.FinalWeights) {
+		t.Fatal("compressed networked run diverged from the in-process simulator")
+	}
+	rawWire, _ := wireTotals(raw)
+	compWire, _ := wireTotals(comp)
+	t.Logf("quick-preset FedGuard wire bytes: raw=%d compressed=%d (%.1f%% saved)",
+		rawWire, compWire, 100*(1-float64(compWire)/float64(rawWire)))
+	if compWire*2 > rawWire {
+		t.Fatalf("compressed run moved %d bytes, more than half the raw run's %d",
+			compWire, rawWire)
+	}
 }
 
 func TestNewServerValidation(t *testing.T) {

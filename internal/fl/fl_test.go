@@ -353,6 +353,58 @@ func (d *decoderChecker) Aggregate(ctx *RoundContext) ([]float32, error) {
 	return out, nil
 }
 
+// TestWireBytesApplyDecoderDedup pins the in-process wire accounting:
+// uploads mirror the logical column, and a client's decoder is charged
+// to WireDownloadBytes only on its first delivery (its content never
+// changes across rounds, so the networked dedup would token it after
+// that). Every later round must charge exactly the weights plus the
+// decoders of newly sampled clients.
+func TestWireBytesApplyDecoderDedup(t *testing.T) {
+	r := rng.New(5)
+	train := dataset.Generate(120, dataset.DefaultGenOptions(), r)
+	test := dataset.Generate(40, dataset.DefaultGenOptions(), r)
+	cfg := tinyFederationConfig()
+	cfg.Rounds = 3
+	fed, err := NewFederation(train, test, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := fed.Run(&decoderChecker{need: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weightBytes := int64(len(h.FinalWeights)) * 4
+	seen := map[int]bool{}
+	for i, rec := range h.Rounds {
+		if rec.WireUploadBytes != rec.UploadBytes {
+			t.Fatalf("round %d: wire uploads %d != logical %d",
+				i+1, rec.WireUploadBytes, rec.UploadBytes)
+		}
+		m := int64(len(rec.Sampled))
+		// Per-update decoder size, recoverable because every update in a
+		// round carries weights plus one identical-size decoder.
+		decBytes := rec.DownloadBytes/m - weightBytes
+		if decBytes <= 0 {
+			t.Fatalf("round %d: no decoder traffic in logical downloads", i+1)
+		}
+		var newClients int64
+		for _, id := range rec.Sampled {
+			if !seen[id] {
+				seen[id] = true
+				newClients++
+			}
+		}
+		want := m*weightBytes + newClients*decBytes
+		if rec.WireDownloadBytes != want {
+			t.Fatalf("round %d: wire downloads %d, want %d (%d new of %d sampled)",
+				i+1, rec.WireDownloadBytes, want, newClients, m)
+		}
+	}
+	if len(seen) == cfg.PerRound*cfg.Rounds {
+		t.Fatal("no client was ever resampled; dedup path unexercised")
+	}
+}
+
 func TestHistoryStats(t *testing.T) {
 	h := &History{Strategy: "x"}
 	for i, acc := range []float64{0.1, 0.2, 0.9, 0.9, 0.9} {

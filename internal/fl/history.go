@@ -20,9 +20,18 @@ type RoundRecord struct {
 	EvalSeconds      float64
 	// UploadBytes is the server→client traffic (global model broadcast);
 	// DownloadBytes is the client→server traffic (updates, plus decoders
-	// under FedGuard). Both follow the paper's Table V accounting.
+	// under FedGuard). Both follow the paper's Table V accounting: the
+	// logical payload sizes at 4 bytes per parameter.
 	UploadBytes   int64
 	DownloadBytes int64
+	// WireUploadBytes/WireDownloadBytes are the bytes that actually
+	// crossed the socket this round, including framing, retries, and the
+	// savings from decoder dedup, delta encoding and the float codec. In
+	// the in-process simulator they mirror the logical sizes with dedup
+	// semantics applied (a decoder is charged only when it would be
+	// (re)sent), so Table V can report logical vs on-wire side by side.
+	WireUploadBytes   int64
+	WireDownloadBytes int64
 	// Sampled lists this round's participating client IDs.
 	Sampled []int
 	// MaliciousSampled counts how many of them were malicious.
@@ -138,6 +147,21 @@ func (h *History) MeanBytes() (up, down int64) {
 	for _, r := range h.Rounds {
 		u += r.UploadBytes
 		d += r.DownloadBytes
+	}
+	n := int64(len(h.Rounds))
+	return u / n, d / n
+}
+
+// MeanWireBytes returns the average per-round measured wire traffic —
+// the compressed-path counterpart of MeanBytes.
+func (h *History) MeanWireBytes() (up, down int64) {
+	if len(h.Rounds) == 0 {
+		return 0, 0
+	}
+	var u, d int64
+	for _, r := range h.Rounds {
+		u += r.WireUploadBytes
+		d += r.WireDownloadBytes
 	}
 	n := int64(len(h.Rounds))
 	return u / n, d / n

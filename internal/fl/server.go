@@ -8,6 +8,7 @@ import (
 
 	"fedguard/internal/attack"
 	"fedguard/internal/classifier"
+	"fedguard/internal/codec"
 	"fedguard/internal/dataset"
 	"fedguard/internal/rng"
 	"fedguard/internal/telemetry"
@@ -182,6 +183,12 @@ func (f *Federation) Run(strategy Strategy, onRound func(RoundRecord)) (*History
 		sampler = UniformSampler{}
 	}
 
+	// decoderHashes tracks the decoder payload each client most recently
+	// delivered, so wire-byte accounting charges a decoder only when it
+	// would actually cross the network — the dedup semantics the
+	// networked deployment implements for real.
+	decoderHashes := make(map[int]uint64, cfg.NumClients)
+
 	tel := cfg.Telemetry
 	attackName := ""
 	if cfg.Attack != nil {
@@ -246,24 +253,38 @@ func (f *Federation) Run(strategy Strategy, onRound func(RoundRecord)) (*History
 
 		// Byte accounting per Table V: uploads are the global broadcast to
 		// the m sampled clients; downloads are their returned updates plus
-		// any decoder payloads.
-		var down int64
+		// any decoder payloads. The logical columns charge every payload in
+		// full; the wire columns apply dedup semantics — a decoder costs
+		// bytes only when its content changed since the client's last
+		// delivery, which is exactly when the networked path resends it.
+		var down, wireDown int64
 		malicious := 0
 		for i, u := range updates {
 			down += int64(len(u.Weights)+len(u.Decoder)) * 4
+			wireDown += int64(len(u.Weights)) * 4
+			if len(u.Decoder) > 0 {
+				h := codec.Hash(u.Decoder)
+				if decoderHashes[sampled[i]] != h {
+					decoderHashes[sampled[i]] = h
+					wireDown += int64(len(u.Decoder)) * 4
+				}
+			}
 			if f.MaliciousIDs[sampled[i]] {
 				malicious++
 			}
 		}
+		up := int64(cfg.PerRound) * int64(len(global)) * 4
 		rec := RoundRecord{
-			Round:            round,
-			TrainSeconds:     trainSecs,
-			AggregateSeconds: aggSecs,
-			UploadBytes:      int64(cfg.PerRound) * int64(len(global)) * 4,
-			DownloadBytes:    down,
-			Sampled:          sampled,
-			MaliciousSampled: malicious,
-			Report:           ctx.Report,
+			Round:             round,
+			TrainSeconds:      trainSecs,
+			AggregateSeconds:  aggSecs,
+			UploadBytes:       up,
+			DownloadBytes:     down,
+			WireUploadBytes:   up,
+			WireDownloadBytes: wireDown,
+			Sampled:           sampled,
+			MaliciousSampled:  malicious,
+			Report:            ctx.Report,
 		}
 
 		evalStart := time.Now()
@@ -296,22 +317,26 @@ func (f *Federation) Run(strategy Strategy, onRound func(RoundRecord)) (*History
 // server (package fednet calls it too).
 func RecordRound(tel *telemetry.T, rec RoundRecord) {
 	tel.Emit(telemetry.RoundCompleted{
-		Round:            rec.Round,
-		TestAccuracy:     rec.TestAccuracy,
-		TrainSeconds:     rec.TrainSeconds,
-		AggregateSeconds: rec.AggregateSeconds,
-		EvalSeconds:      rec.EvalSeconds,
-		Seconds:          rec.Seconds,
-		UploadBytes:      rec.UploadBytes,
-		DownloadBytes:    rec.DownloadBytes,
-		Sampled:          rec.Sampled,
-		MaliciousSampled: rec.MaliciousSampled,
-		Dropped:          rec.Dropped,
-		Report:           rec.Report,
+		Round:             rec.Round,
+		TestAccuracy:      rec.TestAccuracy,
+		TrainSeconds:      rec.TrainSeconds,
+		AggregateSeconds:  rec.AggregateSeconds,
+		EvalSeconds:       rec.EvalSeconds,
+		Seconds:           rec.Seconds,
+		UploadBytes:       rec.UploadBytes,
+		DownloadBytes:     rec.DownloadBytes,
+		WireUploadBytes:   rec.WireUploadBytes,
+		WireDownloadBytes: rec.WireDownloadBytes,
+		Sampled:           rec.Sampled,
+		MaliciousSampled:  rec.MaliciousSampled,
+		Dropped:           rec.Dropped,
+		Report:            rec.Report,
 	})
 	tel.AddCounter("fedguard_rounds_total", 1)
 	tel.AddCounter("fedguard_upload_bytes_total", float64(rec.UploadBytes))
 	tel.AddCounter("fedguard_download_bytes_total", float64(rec.DownloadBytes))
+	tel.AddCounter("fedguard_wire_upload_bytes_total", float64(rec.WireUploadBytes))
+	tel.AddCounter("fedguard_wire_download_bytes_total", float64(rec.WireDownloadBytes))
 	tel.SetGauge("fedguard_round", float64(rec.Round))
 	tel.SetGauge("fedguard_test_accuracy", rec.TestAccuracy)
 	tel.SetGauge("fedguard_excluded", float64(rec.Excluded()))
@@ -329,7 +354,17 @@ func Partition(train *dataset.Dataset, cfg FederationConfig) [][]int {
 // InitialGlobal derives ψ₀, the initial global parameter vector, from the
 // experiment seed (Alg. 1 line 15).
 func InitialGlobal(cfg FederationConfig) []float32 {
-	return cfg.Client.Arch(rng.New(rng.DeriveSeed(cfg.Seed, "init", 0))).FlattenParams()
+	return InitialGlobalFrom(cfg.Client.Arch, cfg.Seed)
+}
+
+// InitialGlobalFrom derives ψ₀ from an architecture factory and the
+// experiment seed directly — the form remote clients use, which hold
+// only the Setup parameters rather than a full FederationConfig. Both
+// endpoints deriving the identical ψ₀ locally is what lets the
+// compressed wire path delta-encode the very first broadcast against a
+// base that never crossed the network.
+func InitialGlobalFrom(arch classifier.Arch, seed uint64) []float32 {
+	return arch(rng.New(rng.DeriveSeed(seed, "init", 0))).FlattenParams()
 }
 
 // ClientRNGSeed derives client id's private stream seed. Remote clients

@@ -40,8 +40,13 @@ type RoundCompleted struct {
 	Seconds          float64 `json:"seconds"`
 	UploadBytes      int64   `json:"upload_bytes"`
 	DownloadBytes    int64   `json:"download_bytes"`
-	Sampled          []int   `json:"sampled"`
-	MaliciousSampled int     `json:"malicious_sampled"`
+	// WireUploadBytes/WireDownloadBytes are the measured on-socket bytes
+	// (framing, retries, and compression included), as opposed to the
+	// logical Table V sizes above.
+	WireUploadBytes   int64 `json:"wire_upload_bytes"`
+	WireDownloadBytes int64 `json:"wire_download_bytes"`
+	Sampled           []int `json:"sampled"`
+	MaliciousSampled  int   `json:"malicious_sampled"`
 	// Dropped lists sampled clients that failed to deliver an update
 	// (networked runs only; empty when the full cohort responded).
 	Dropped []int `json:"dropped,omitempty"`
@@ -83,8 +88,8 @@ func (AttackSampled) Kind() string { return "AttackSampled" }
 // (and from FedGuard's audit) exactly like a defense-excluded one, and
 // the client may rejoin at a later round.
 type ClientDropped struct {
-	Round    int    `json:"round"`
-	ClientID int    `json:"client_id"`
+	Round    int `json:"round"`
+	ClientID int `json:"client_id"`
 	// Reason is "timeout" (deadline expired), "transport" (connection
 	// died), "protocol" (corrupt or unexpected frames), or
 	// "disconnected" (no live connection when the round started).

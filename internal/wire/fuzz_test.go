@@ -23,6 +23,12 @@ func FuzzReadMessage(f *testing.F) {
 		&Update{Round: 1, ClientID: 2, NumSamples: 3, Weights: []float32{0.5},
 			Decoder: []float32{1}, DecoderClasses: []uint32{4}},
 		&Shutdown{},
+		&Hello{ClientID: 3, Encodings: CapCodec},
+		&TrainRequestC{Round: 1, NeedDecoder: true, DecoderHash: 5,
+			Encoding: EncDelta, BaseRound: 0, NumParams: 2, Payload: []byte{2, 0, 0, 0, 0}},
+		&UpdateC{Round: 1, ClientID: 2, NumSamples: 3, Encoding: EncCodec,
+			NumParams: 1, Weights: []byte{1, 2, 3}, DecoderHash: 9,
+			NumDecoderParams: 1, Decoder: []byte{1, 0, 0, 0, 0}, DecoderClasses: []uint32{4}},
 	} {
 		var buf bytes.Buffer
 		if err := WriteMessage(&buf, msg); err != nil {

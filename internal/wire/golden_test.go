@@ -46,6 +46,35 @@ var goldenFrames = []struct {
 		msg:  &Shutdown{},
 		hex:  "010000004d478c6705",
 	},
+	// Compressed-path pins. Hello/Setup with a capability byte appended
+	// and the TrainRequestC/UpdateC bodies — new frames only; the raw
+	// pins above are untouched by negotiation.
+	{
+		name: "HelloWithEncodings",
+		msg:  &Hello{ClientID: 7, Encodings: CapCodec},
+		hex:  "06000000d49a07e2010700000001",
+	},
+	{
+		name: "SetupWithEncodings",
+		msg: &Setup{Seed: 1, DataSeed: 2, TrainSize: 3, Indices: []uint32{4, 5},
+			ArchName: "tiny", Epochs: 6, BatchSize: 7, LR: 0.5, Momentum: 0.25,
+			CVAEHidden: 8, CVAELatent: 9, CVAEEpochs: 10, CVAEBatch: 11, CVAELR: 0.125,
+			NumClasses: 12, Attack: "sign-flip", AttackSeed: 13, Encodings: CapCodec},
+		hex: "730000003c20faa90201000000000000000200000000000000030000000200000004000000050000000400000074696e790600000007000000000000000000e03f000000000000d03f08000000090000000a0000000b000000000000000000c03f0c000000090000007369676e2d666c69700d0000000000000001",
+	},
+	{
+		name: "TrainRequestC",
+		msg: &TrainRequestC{Round: 2, NeedDecoder: true, DecoderHash: 0xDEADBEEF01020304,
+			Encoding: EncDelta, BaseRound: 1, NumParams: 3, Payload: []byte{0x03, 0x06, 0x01, 0x02}},
+		hex: "1f000000579b206d06020000000104030201efbeadde0201000000030000000400000003060102",
+	},
+	{
+		name: "UpdateC",
+		msg: &UpdateC{Round: 3, ClientID: 4, NumSamples: 5, Encoding: EncCodec,
+			NumParams: 1, Weights: []byte{0x01, 0x02, 0xAA}, DecoderHash: 0x1122334455667788,
+			NumDecoderParams: 2, Decoder: []byte{0x02, 0x05, 0x00}, DecoderClasses: []uint32{0, 9}},
+		hex: "38000000698eb374070300000004000000050000000101000000030000000102aa88776655443322110200000003000000020500020000000000000009000000",
+	},
 }
 
 func TestGoldenFrameBytes(t *testing.T) {
@@ -84,13 +113,32 @@ func equalMessage(got, want any) bool {
 }
 
 func normalize(m any) any {
-	if u, ok := m.(*Update); ok {
+	switch u := m.(type) {
+	case *Update:
 		c := *u
 		if len(c.Decoder) == 0 {
 			c.Decoder = nil
 		}
 		if len(c.DecoderClasses) == 0 {
 			c.DecoderClasses = nil
+		}
+		return &c
+	case *UpdateC:
+		c := *u
+		if len(c.Weights) == 0 {
+			c.Weights = nil
+		}
+		if len(c.Decoder) == 0 {
+			c.Decoder = nil
+		}
+		if len(c.DecoderClasses) == 0 {
+			c.DecoderClasses = nil
+		}
+		return &c
+	case *TrainRequestC:
+		c := *u
+		if len(c.Payload) == 0 {
+			c.Payload = nil
 		}
 		return &c
 	}

@@ -1,8 +1,13 @@
 // Package wire defines the binary protocol of the networked federation
 // (package fednet): length-prefixed frames carrying typed messages with
-// explicit little-endian encoding. Parameter vectors travel as raw
-// float32s — 4 bytes per parameter — so measured wire traffic matches the
-// paper's Table V accounting exactly.
+// explicit little-endian encoding. By default parameter vectors travel
+// as raw float32s — 4 bytes per parameter — so measured wire traffic
+// matches the paper's Table V accounting exactly. Peers that both
+// advertise CapCodec during registration switch to the compressed
+// message types (TrainRequestC/UpdateC), which carry codec byte-plane
+// blobs, XOR deltas against shared reference vectors, and content-hash
+// decoder dedup tokens — losslessly, so decoded payloads are
+// bit-identical to the raw path.
 //
 // Frame layout:
 //
@@ -62,11 +67,39 @@ const (
 	TypeTrainRequest byte = 3 // server → client: one round of work
 	TypeUpdate       byte = 4 // client → server: trained update
 	TypeShutdown     byte = 5 // server → client: experiment over
+
+	// Compressed variants, exchanged only after both ends negotiated
+	// CapCodec during registration. A peer that never advertises the
+	// capability never sees these types.
+	TypeTrainRequestC byte = 6 // server → client: compressed round of work
+	TypeUpdateC       byte = 7 // client → server: compressed trained update
 )
 
-// Hello registers a client with the server.
+// Payload encodings carried by the compressed message types.
+const (
+	// EncRaw marks legacy raw little-endian float32 vectors.
+	EncRaw byte = 0
+	// EncCodec marks a codec byte-plane blob of the full vector.
+	EncCodec byte = 1
+	// EncDelta marks a codec blob of the XOR delta against a reference
+	// vector both endpoints already hold.
+	EncDelta byte = 2
+)
+
+// CapCodec is the capability bit a peer sets in Hello/Setup.Encodings
+// to advertise that it understands TrainRequestC/UpdateC frames (the
+// codec and delta encodings). Raw framing stays the default: the bit is
+// appended to the registration messages only when nonzero, so frames
+// from and to legacy peers are byte-identical to the pinned golden
+// format and negotiation degrades to raw automatically.
+const CapCodec byte = 1
+
+// Hello registers a client with the server. Encodings is the optional
+// capability bitmask (CapCodec); zero encodes exactly like the legacy
+// frame, and legacy servers ignore the trailing byte when set.
 type Hello struct {
-	ClientID uint32
+	ClientID  uint32
+	Encodings byte
 }
 
 // Setup tells a freshly registered client everything it needs to
@@ -94,6 +127,10 @@ type Setup struct {
 	// collusive noise vector.
 	Attack     string
 	AttackSeed uint64
+	// Encodings is the server's answer to Hello.Encodings: the
+	// capability bits both sides will use (CapCodec or zero). Zero is
+	// omitted from the frame, keeping legacy bytes intact.
+	Encodings byte
 }
 
 // TrainRequest asks a client to run one local round from the given
@@ -114,6 +151,47 @@ type Update struct {
 	DecoderClasses []uint32
 }
 
+// TrainRequestC is the compressed TrainRequest: the global parameter
+// vector travels as a codec blob (EncCodec), usually an XOR delta
+// against a base both endpoints hold (EncDelta). BaseRound identifies
+// that base: the round whose global this connection last received, or 0
+// for the seed-derived initial model ψ₀ that every fresh connection can
+// reconstruct locally.
+type TrainRequestC struct {
+	Round       uint32
+	NeedDecoder bool
+	// DecoderHash is the content hash of the decoder payload the server
+	// already caches for this client (0 = none). The client answers with
+	// a hash token instead of decoder bytes when its payload still
+	// matches — the dedup that stops re-uploading a static decoder.
+	DecoderHash uint64
+	Encoding    byte   // EncCodec or EncDelta
+	BaseRound   uint32 // EncDelta: round of the base global (0 = ψ₀)
+	NumParams   uint32 // element count of the encoded vector
+	Payload     []byte // codec blob
+}
+
+// UpdateC is the compressed Update. Weights travel as a codec blob,
+// EncDelta-encoded against the round's broadcast global (which the
+// server still holds while collecting). The decoder payload is
+// deduplicated by content hash: bytes are attached only when the
+// server's advertised hash (TrainRequestC.DecoderHash) was stale;
+// otherwise DecoderHash alone tells the server to use its cache.
+type UpdateC struct {
+	Round      uint32
+	ClientID   uint32
+	NumSamples uint32
+	Encoding   byte   // EncCodec or EncDelta (base: this round's global)
+	NumParams  uint32 // element count of the weights vector
+	Weights    []byte // codec blob
+	// DecoderHash identifies the client's current decoder payload
+	// (0 = no decoder attached this round).
+	DecoderHash      uint64
+	NumDecoderParams uint32
+	Decoder          []byte // codec blob; empty with nonzero hash = cache hit
+	DecoderClasses   []uint32
+}
+
 // Shutdown ends the client's session.
 type Shutdown struct{}
 
@@ -125,6 +203,9 @@ func WriteMessage(w io.Writer, msg any) error {
 	case *Hello:
 		typ = TypeHello
 		body = appendU32(nil, m.ClientID)
+		if m.Encodings != 0 {
+			body = append(body, m.Encodings)
+		}
 	case *Setup:
 		typ = TypeSetup
 		body = encodeSetup(m)
@@ -140,6 +221,27 @@ func WriteMessage(w io.Writer, msg any) error {
 		body = appendU32(body, m.NumSamples)
 		body = appendF32s(body, m.Weights)
 		body = appendF32s(body, m.Decoder)
+		body = appendU32s(body, m.DecoderClasses)
+	case *TrainRequestC:
+		typ = TypeTrainRequestC
+		body = appendU32(nil, m.Round)
+		body = append(body, boolByte(m.NeedDecoder))
+		body = appendU64(body, m.DecoderHash)
+		body = append(body, m.Encoding)
+		body = appendU32(body, m.BaseRound)
+		body = appendU32(body, m.NumParams)
+		body = appendBytes(body, m.Payload)
+	case *UpdateC:
+		typ = TypeUpdateC
+		body = appendU32(nil, m.Round)
+		body = appendU32(body, m.ClientID)
+		body = appendU32(body, m.NumSamples)
+		body = append(body, m.Encoding)
+		body = appendU32(body, m.NumParams)
+		body = appendBytes(body, m.Weights)
+		body = appendU64(body, m.DecoderHash)
+		body = appendU32(body, m.NumDecoderParams)
+		body = appendBytes(body, m.Decoder)
 		body = appendU32s(body, m.DecoderClasses)
 	case *Shutdown:
 		typ = TypeShutdown
@@ -191,6 +293,7 @@ func ReadMessage(r io.Reader) (any, error) {
 	switch typ {
 	case TypeHello:
 		m := &Hello{ClientID: d.u32()}
+		m.Encodings = d.optByte()
 		return m, d.err
 	case TypeSetup:
 		return decodeSetup(d)
@@ -203,6 +306,25 @@ func ReadMessage(r io.Reader) (any, error) {
 		m := &Update{Round: d.u32(), ClientID: d.u32(), NumSamples: d.u32()}
 		m.Weights = d.f32s()
 		m.Decoder = d.f32s()
+		m.DecoderClasses = d.u32s()
+		return m, d.err
+	case TypeTrainRequestC:
+		m := &TrainRequestC{Round: d.u32()}
+		m.NeedDecoder = d.u8() != 0
+		m.DecoderHash = d.u64()
+		m.Encoding = d.u8()
+		m.BaseRound = d.u32()
+		m.NumParams = d.u32()
+		m.Payload = d.bytes()
+		return m, d.err
+	case TypeUpdateC:
+		m := &UpdateC{Round: d.u32(), ClientID: d.u32(), NumSamples: d.u32()}
+		m.Encoding = d.u8()
+		m.NumParams = d.u32()
+		m.Weights = d.bytes()
+		m.DecoderHash = d.u64()
+		m.NumDecoderParams = d.u32()
+		m.Decoder = d.bytes()
 		m.DecoderClasses = d.u32s()
 		return m, d.err
 	case TypeShutdown:
@@ -257,6 +379,9 @@ func encodeSetup(m *Setup) []byte {
 	b = appendU32(b, m.NumClasses)
 	b = appendString(b, m.Attack)
 	b = appendU64(b, m.AttackSeed)
+	if m.Encodings != 0 {
+		b = append(b, m.Encodings)
+	}
 	return b
 }
 
@@ -279,6 +404,7 @@ func decodeSetup(d *decoder) (*Setup, error) {
 	m.NumClasses = d.u32()
 	m.Attack = d.str()
 	m.AttackSeed = d.u64()
+	m.Encodings = d.optByte()
 	return m, d.err
 }
 
@@ -314,6 +440,11 @@ func appendU32s(b []byte, vs []uint32) []byte {
 		b = appendU32(b, v)
 	}
 	return b
+}
+
+func appendBytes(b []byte, vs []byte) []byte {
+	b = appendU32(b, uint32(len(vs)))
+	return append(b, vs...)
 }
 
 func appendF32s(b []byte, vs []float32) []byte {
@@ -352,6 +483,29 @@ func (d *decoder) u8() byte {
 		return 0
 	}
 	return b[0]
+}
+
+// optByte reads a trailing optional byte: absent (no bytes left) decodes
+// as zero, which is how capability fields stay byte-compatible with
+// legacy frames.
+func (d *decoder) optByte() byte {
+	if d.err != nil || len(d.buf) == 0 {
+		return 0
+	}
+	return d.u8()
+}
+
+// bytes reads a u32-length-prefixed byte string, sharing the frame's
+// backing array.
+func (d *decoder) bytes() []byte {
+	n := d.u32()
+	if d.err != nil || uint64(n) > uint64(len(d.buf)) {
+		if d.err == nil {
+			d.err = io.ErrUnexpectedEOF
+		}
+		return nil
+	}
+	return d.take(int(n))
 }
 
 func (d *decoder) u32() uint32 {

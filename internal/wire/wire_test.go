@@ -128,10 +128,10 @@ func buildFrame(payload []byte) []byte {
 
 func TestReadMessageRejectsGarbage(t *testing.T) {
 	cases := [][]byte{
-		{},                      // empty
-		{1, 2},                  // short header
-		{1, 2, 3, 4, 5},         // truncated header
-		buildFrame(nil),         // zero length
+		{},                                  // empty
+		{1, 2},                              // short header
+		{1, 2, 3, 4, 5},                     // truncated header
+		buildFrame(nil),                     // zero length
 		{255, 255, 255, 255, 0, 0, 0, 0, 1}, // oversized length
 		buildFrame([]byte{99, 0}),           // unknown type
 	}
@@ -186,8 +186,11 @@ func TestReadMessageBoundsAllocationOnLyingLength(t *testing.T) {
 	if _, err := ReadMessage(bytes.NewReader(frame)); err == nil {
 		t.Fatal("lying length prefix accepted")
 	}
-	if grown := totalAllocBytes() - before; grown > 2*allocChunk {
-		t.Fatalf("claimed-256MB frame allocated %d bytes; want ≤ %d", grown, 2*allocChunk)
+	// Allow 64 KiB of slack over the two growth chunks: the race
+	// runtime pads large allocations by a few hundred bytes, which must
+	// not fail a bound that exists to catch 256 MB up-front reserves.
+	if limit := int64(2*allocChunk + 64<<10); totalAllocBytes()-before > limit {
+		t.Fatalf("claimed-256MB frame allocated %d bytes; want ≤ %d", totalAllocBytes()-before, limit)
 	}
 }
 
@@ -332,5 +335,109 @@ func TestCountingConnCloseWithoutCloser(t *testing.T) {
 func TestWriteMessageRejectsUnknownType(t *testing.T) {
 	if err := WriteMessage(io.Discard, struct{}{}); err == nil {
 		t.Fatal("unknown message type accepted")
+	}
+}
+
+func TestTrainRequestCRoundTrip(t *testing.T) {
+	in := &TrainRequestC{
+		Round: 5, NeedDecoder: true, DecoderHash: 0xABCDEF,
+		Encoding: EncDelta, BaseRound: 4, NumParams: 7,
+		Payload: []byte{9, 8, 7, 6},
+	}
+	got := roundTrip(t, in).(*TrainRequestC)
+	if !reflect.DeepEqual(in, got) {
+		t.Fatalf("round trip:\n in %#v\nout %#v", in, got)
+	}
+}
+
+func TestUpdateCRoundTrip(t *testing.T) {
+	in := &UpdateC{
+		Round: 2, ClientID: 3, NumSamples: 40,
+		Encoding: EncCodec, NumParams: 12, Weights: []byte{1, 2, 3},
+		DecoderHash: 77, NumDecoderParams: 5, Decoder: []byte{4, 5},
+		DecoderClasses: []uint32{0, 3, 9},
+	}
+	got := roundTrip(t, in).(*UpdateC)
+	if !reflect.DeepEqual(in, got) {
+		t.Fatalf("round trip:\n in %#v\nout %#v", in, got)
+	}
+	// Cache-hit shape: hash without bytes must survive as-is.
+	token := &UpdateC{Round: 2, ClientID: 3, NumSamples: 40,
+		Encoding: EncDelta, NumParams: 1, Weights: []byte{0}, DecoderHash: 99}
+	tok := roundTrip(t, token).(*UpdateC)
+	if tok.DecoderHash != 99 || len(tok.Decoder) != 0 || tok.NumDecoderParams != 0 {
+		t.Fatalf("decoder token corrupted: %#v", tok)
+	}
+}
+
+// The capability byte must be invisible when zero: frames are
+// byte-identical to the legacy encoding, and legacy frames (without the
+// byte) decode with Encodings == 0. That is the whole negotiation story
+// — an old peer neither sends nor is sent anything it doesn't know.
+func TestCapabilityByteCompat(t *testing.T) {
+	var plain, withCap bytes.Buffer
+	if err := WriteMessage(&plain, &Hello{ClientID: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMessage(&withCap, &Hello{ClientID: 9, Encodings: CapCodec}); err != nil {
+		t.Fatal(err)
+	}
+	if withCap.Len() != plain.Len()+1 {
+		t.Fatalf("capability byte cost %d bytes, want 1", withCap.Len()-plain.Len())
+	}
+	got, err := ReadMessage(&plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := got.(*Hello); h.Encodings != 0 {
+		t.Fatalf("legacy frame decoded with Encodings = %d", h.Encodings)
+	}
+	got, err = ReadMessage(&withCap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := got.(*Hello); h.Encodings != CapCodec {
+		t.Fatalf("capability byte lost: %#v", h)
+	}
+
+	setup := &Setup{Seed: 1, ArchName: "tiny", Attack: "none"}
+	var s0 bytes.Buffer
+	if err := WriteMessage(&s0, setup); err != nil {
+		t.Fatal(err)
+	}
+	setup.Encodings = CapCodec
+	var s1 bytes.Buffer
+	if err := WriteMessage(&s1, setup); err != nil {
+		t.Fatal(err)
+	}
+	if s1.Len() != s0.Len()+1 {
+		t.Fatalf("Setup capability byte cost %d bytes, want 1", s1.Len()-s0.Len())
+	}
+	m0, err := ReadMessage(&s0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m0.(*Setup).Encodings != 0 {
+		t.Fatal("zero-capability Setup decoded with nonzero Encodings")
+	}
+	m1, err := ReadMessage(&s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.(*Setup).Encodings != CapCodec {
+		t.Fatal("Setup capability byte lost")
+	}
+}
+
+func TestUpdateCGuardsLengthLies(t *testing.T) {
+	payload := []byte{TypeUpdateC}
+	payload = appendU32(payload, 1) // round
+	payload = appendU32(payload, 1) // client
+	payload = appendU32(payload, 1) // samples
+	payload = append(payload, EncCodec)
+	payload = appendU32(payload, 1)
+	payload = appendU32(payload, 1<<30) // claimed blob length
+	if _, err := ReadMessage(bytes.NewReader(buildFrame(payload))); err == nil {
+		t.Fatal("length-lying UpdateC accepted")
 	}
 }
