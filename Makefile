@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short race vet ci bench bench-json bench-smoke test-chaos test-codec fuzz-smoke clean
+.PHONY: all build test test-short race vet ci bench bench-json bench-smoke test-chaos test-codec trace-smoke fuzz-smoke clean
 
 # The substrate microbenchmarks tracked in BENCH_micro.json.
 MICRO_BENCH = BenchmarkMatMul128$$|BenchmarkConvForward$$|BenchmarkConvBackward$$|BenchmarkClassifierTrainEpoch$$|BenchmarkDecoderGenerate$$
@@ -31,9 +31,9 @@ vet:
 # under the race detector (telemetry and fednet are concurrent), one
 # iteration of every substrate microbenchmark so a broken kernel fails
 # fast even when its unit tests are skipped, the fault-injection chaos
-# suite, the lossless-codec stack, and bounded fuzz passes over the wire
-# and codec decoders.
-ci: vet race bench-smoke test-chaos test-codec fuzz-smoke
+# suite, the lossless-codec stack, the distributed-tracing smoke run,
+# and bounded fuzz passes over the wire and codec decoders.
+ci: vet race bench-smoke test-chaos test-codec trace-smoke fuzz-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...
@@ -67,6 +67,15 @@ test-chaos:
 test-codec:
 	$(GO) test ./internal/codec/
 	$(GO) test -race -short -run 'Compressed' ./internal/fednet/
+
+# trace-smoke is the end-to-end distributed-tracing gate: a 3-round
+# 4-client fault-injected federation (one hard straggler) with per-node
+# JSONL span logs, asserting fedtrace reconstructs every round as a
+# single complete rooted span tree with drop reasons visible. Race on —
+# the run drives concurrent traced sockets.
+trace-smoke:
+	$(GO) test -race -run 'TestTraceSmoke' ./cmd/fedtrace/
+	$(GO) test -race -run 'Traced' ./internal/fednet/
 
 # fuzz-smoke gives the wire-frame and codec decoders a bounded
 # randomized beating on every CI run; go test -fuzz takes over for

@@ -33,6 +33,8 @@ func main() {
 		fig4Only   = flag.Bool("fig4-only", false, "run only the Fig. 4 / Table IV matrix")
 		svgFrom    = flag.String("svg-from-csv", "", "re-render an archived series CSV as SVG and exit")
 		metricsOut = flag.String("metrics-out", "", "write every run's summary statistics as a JSON metrics snapshot")
+		events     = flag.String("events", "", "write every run's structured JSONL event log (and spans with -trace) to this path")
+		trace      = flag.Bool("trace", false, "record span trees for every run (exported into the -events log; analyze with fedtrace)")
 	)
 	flag.Parse()
 
@@ -52,9 +54,28 @@ func main() {
 	}
 	log := os.Stderr
 
-	// Every result set is also published into a metrics registry so the
-	// whole bench run can be archived as one machine-readable snapshot.
-	reg := telemetry.NewRegistry()
+	// One telemetry bundle is threaded through every run of the bench
+	// (experiment.Setup.Telemetry): its registry collects the per-phase
+	// histograms and final summary gauges for -metrics-out, and its sink
+	// streams events — plus span trees under -trace — into -events.
+	tel := telemetry.New(nil)
+	if *events != "" {
+		sink, err := telemetry.NewFileSink(*events)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := sink.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "fedbench: event log:", err)
+			}
+		}()
+		tel.Events = sink
+	}
+	if *trace {
+		tel.EnableTracing("bench")
+	}
+	setup.Telemetry = tel
+	reg := tel.Metrics
 	defer func() {
 		if *metricsOut == "" {
 			return

@@ -27,6 +27,16 @@
 // omitting the flag keeps that connection on raw frames, and results
 // are bit-identical in every combination. See the README's
 // "Communication efficiency" section.
+//
+// Distributed tracing engages the same way: when both endpoints pass
+// -trace, trace context propagates over the wire (CapTrace) and each
+// node exports its half of the span tree into its -events log, e.g.
+//
+//	fednode -mode server -trace -events server.jsonl ...
+//	fednode -mode client -id 3 -trace -events client3.jsonl ...
+//	fedtrace server.jsonl client*.jsonl
+//
+// See the README's "Tracing" subsection.
 package main
 
 import (
@@ -54,10 +64,12 @@ func main() {
 		scenario = flag.String("scenario", "no-attack", "attack scenario (see fedsim -list)")
 		strategy = flag.String("strategy", "FedGuard", "aggregation strategy")
 
-		events    = flag.String("events", "", "server: write a structured JSONL event log to this path")
+		events    = flag.String("events", "", "write a structured JSONL event log to this path (both modes)")
 		debugAddr = flag.String("debug-addr", "", "server: serve /metrics, /healthz, expvar and pprof on this address")
 		compress  = flag.Bool("compress", false,
 			"enable lossless wire compression (decoder dedup, delta encoding, float codec); negotiated, so both endpoints must pass it")
+		trace = flag.Bool("trace", false,
+			"record span trees and propagate trace context over the wire (CapTrace); negotiated, so both endpoints must pass it; merge the per-node -events logs with fedtrace")
 
 		minClients = flag.Int("min-clients", 0,
 			"server: round quorum; > 0 drops unresponsive clients instead of aborting (0 = strict)")
@@ -76,10 +88,30 @@ func main() {
 
 	switch *mode {
 	case "client":
-		err := fednet.RunClientResilient(*addr, *id, fednet.ClientOptions{
+		opts := fednet.ClientOptions{
 			Redials:  *redial,
 			Compress: *compress,
-		})
+			Trace:    *trace,
+		}
+		var sink *telemetry.FileSink
+		if *events != "" {
+			var err error
+			if sink, err = telemetry.NewFileSink(*events); err != nil {
+				fatal(err)
+			}
+			opts.Telemetry = telemetry.New(sink)
+			if *trace {
+				opts.Telemetry.EnableTracing(fmt.Sprintf("client-%d", *id))
+			}
+		}
+		err := fednet.RunClientResilient(*addr, *id, opts)
+		if sink != nil {
+			// Flush the span log even when the session ends in an error —
+			// a dropped client's trace is exactly the interesting one.
+			if cerr := sink.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -91,7 +123,7 @@ func main() {
 			Retries:         *retries,
 			RegisterTimeout: *registerTimeout,
 		}
-		if err := runServer(*listen, *preset, *scenario, *strategy, *events, *debugAddr, *compress, ft); err != nil {
+		if err := runServer(*listen, *preset, *scenario, *strategy, *events, *debugAddr, *compress, *trace, ft); err != nil {
 			fatal(err)
 		}
 	default:
@@ -109,14 +141,14 @@ type faultTolerance struct {
 	RegisterTimeout time.Duration
 }
 
-func runServer(listen, preset, scenarioID, strategyName, events, debugAddr string, compress bool, ft faultTolerance) error {
+func runServer(listen, preset, scenarioID, strategyName, events, debugAddr string, compress, trace bool, ft faultTolerance) error {
 	setup, err := experiment.NewSetup(experiment.Preset(preset))
 	if err != nil {
 		return err
 	}
 
 	var tel *telemetry.T
-	if events != "" || debugAddr != "" {
+	if events != "" || debugAddr != "" || trace {
 		tel = telemetry.New(nil)
 		if events != "" {
 			sink, err := telemetry.NewFileSink(events)
@@ -133,6 +165,13 @@ func runServer(listen, preset, scenarioID, strategyName, events, debugAddr strin
 			}
 			defer ds.Close()
 			fmt.Fprintf(os.Stderr, "fednode: debug endpoints on http://%s/\n", ds.Addr())
+		}
+		if trace {
+			if events == "" {
+				fmt.Fprintln(os.Stderr,
+					"fednode: -trace without -events feeds the phase histograms only; add -events to export spans for fedtrace")
+			}
+			tel.EnableTracing("server")
 		}
 	}
 	sc, err := experiment.ScenarioByID(scenarioID)
@@ -176,6 +215,7 @@ func runServer(listen, preset, scenarioID, strategyName, events, debugAddr strin
 		RegisterTimeout:    ft.RegisterTimeout,
 
 		Compress: compress,
+		Trace:    trace,
 	}
 	test := dataset.Generate(setup.TestSize, dataset.DefaultGenOptions(),
 		rng.New(rng.DeriveSeed(setup.Seed, "testdata", 0)))

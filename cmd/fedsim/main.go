@@ -41,6 +41,7 @@ func main() {
 		events     = flag.String("events", "", "write a structured JSONL event log to this path")
 		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /healthz, expvar and pprof on this address (e.g. 127.0.0.1:6060)")
 		metricsOut = flag.String("metrics-out", "", "write a JSON metrics snapshot to this path on exit")
+		trace      = flag.Bool("trace", false, "record span trees (run → round → client/aggregate phases), exported into the -events log; analyze with fedtrace")
 
 		// Accepted for CLI parity with fednode, where the fault-tolerance
 		// and wire-compression machinery live. The in-process simulator has
@@ -103,6 +104,16 @@ func main() {
 		fatal(err)
 	}
 	defer cleanup()
+	if *trace {
+		if tel == nil {
+			tel = telemetry.New(nil)
+		}
+		if *events == "" {
+			fmt.Fprintln(os.Stderr,
+				"fedsim: -trace without -events feeds the phase histograms only; add -events to export spans for fedtrace")
+		}
+		tel.EnableTracing("sim")
+	}
 
 	res, err := experiment.Run(setup, sc, *strategy, experiment.RunOptions{
 		ServerLR:  *serverLR,

@@ -1,0 +1,394 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+)
+
+// span is one reconstructed node of a trace tree, merged from the JSONL
+// export of any participating process.
+type span struct {
+	Trace    string            `json:"trace"`
+	ID       string            `json:"span"`
+	Parent   string            `json:"parent,omitempty"`
+	Name     string            `json:"name"`
+	Node     string            `json:"node"`
+	Start    int64             `json:"start_unix_ns"`
+	Duration int64             `json:"duration_ns"`
+	Labels   map[string]string `json:"labels,omitempty"`
+
+	Children []*span `json:"children,omitempty"`
+}
+
+// seconds converts the span's monotonic duration.
+func (s *span) seconds() float64 { return float64(s.Duration) / 1e9 }
+
+// intLabel reads an integer-valued label (0 when absent or malformed).
+func (s *span) intLabel(key string) int64 {
+	v, _ := strconv.ParseInt(s.Labels[key], 10, 64)
+	return v
+}
+
+// loadSpans reads one JSONL event file and returns its Span events.
+// Non-span events (RoundCompleted etc.) are counted but not returned;
+// malformed lines are skipped rather than fatal, since a crashed node's
+// log may end mid-line.
+func loadSpans(r io.Reader) (spans []*span, otherEvents int, err error) {
+	type envelope struct {
+		Event string          `json:"event"`
+		Data  json.RawMessage `json:"data"`
+	}
+	type rawSpan struct {
+		Trace    string `json:"trace"`
+		Span     string `json:"span"`
+		Parent   string `json:"parent"`
+		Name     string `json:"name"`
+		Node     string `json:"node"`
+		Start    int64  `json:"start_unix_ns"`
+		Duration int64  `json:"duration_ns"`
+		Labels   []struct {
+			Key   string `json:"key"`
+			Value string `json:"value"`
+		} `json:"labels"`
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var env envelope
+		if err := json.Unmarshal(line, &env); err != nil {
+			continue // torn tail of a crashed node's log
+		}
+		if env.Event != "Span" {
+			otherEvents++
+			continue
+		}
+		var rs rawSpan
+		if err := json.Unmarshal(env.Data, &rs); err != nil {
+			continue
+		}
+		sp := &span{
+			Trace:    rs.Trace,
+			ID:       rs.Span,
+			Parent:   rs.Parent,
+			Name:     rs.Name,
+			Node:     rs.Node,
+			Start:    rs.Start,
+			Duration: rs.Duration,
+		}
+		if len(rs.Labels) > 0 {
+			sp.Labels = make(map[string]string, len(rs.Labels))
+			for _, l := range rs.Labels {
+				sp.Labels[l.Key] = l.Value
+			}
+		}
+		spans = append(spans, sp)
+	}
+	return spans, otherEvents, sc.Err()
+}
+
+// loadFiles loads and merges the span streams of every given path.
+func loadFiles(paths []string) ([]*span, error) {
+	var all []*span
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return nil, err
+		}
+		spans, _, err := loadSpans(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		all = append(all, spans...)
+	}
+	return all, nil
+}
+
+// forest links a merged span set into trees. Spans whose parent is
+// missing from the merge (e.g. a client log analyzed without its
+// server's) become orphan roots, counted separately from true roots.
+type forest struct {
+	Roots   []*span
+	Orphans []*span
+	byID    map[string]*span
+}
+
+// buildForest links children to parents and sorts every level by start
+// time, so tree walks read in timeline order.
+func buildForest(spans []*span) *forest {
+	f := &forest{byID: make(map[string]*span, len(spans))}
+	for _, s := range spans {
+		f.byID[s.ID] = s
+	}
+	for _, s := range spans {
+		switch {
+		case s.Parent == "":
+			f.Roots = append(f.Roots, s)
+		case f.byID[s.Parent] != nil:
+			p := f.byID[s.Parent]
+			p.Children = append(p.Children, s)
+		default:
+			f.Orphans = append(f.Orphans, s)
+		}
+	}
+	order := func(a, b *span) bool {
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		return a.ID < b.ID
+	}
+	for _, s := range spans {
+		sort.Slice(s.Children, func(i, j int) bool { return order(s.Children[i], s.Children[j]) })
+	}
+	sort.Slice(f.Roots, func(i, j int) bool { return order(f.Roots[i], f.Roots[j]) })
+	sort.Slice(f.Orphans, func(i, j int) bool { return order(f.Orphans[i], f.Orphans[j]) })
+	return f
+}
+
+// DroppedClient is one client that failed to deliver in a round, with
+// the server's drop reason.
+type DroppedClient struct {
+	Client string `json:"client"`
+	Reason string `json:"reason"`
+}
+
+// RoundReport is one federated round's reconstructed timeline: the
+// straggler/critical-path view of Table V's per-round cost columns.
+type RoundReport struct {
+	Round   int     `json:"round"`
+	Seconds float64 `json:"seconds"`
+
+	// Fan-out: requests issued (or in-process client.round spans), how
+	// many delivered, and who was dropped with what reason.
+	Clients int             `json:"clients"`
+	OK      int             `json:"ok"`
+	Dropped []DroppedClient `json:"dropped,omitempty"`
+
+	// Straggler analysis: the slowest delivered client bounds the round's
+	// train phase (its request is the critical path of the fan-out).
+	SlowestClient  string  `json:"slowest_client,omitempty"`
+	SlowestSeconds float64 `json:"slowest_seconds"`
+
+	// Phase split (Table V cost columns, from the server's spans).
+	AggregateSeconds  float64 `json:"aggregate_seconds"`
+	AuditSeconds      float64 `json:"audit_seconds"`
+	SynthesizeSeconds float64 `json:"synthesize_seconds"`
+	EvalSeconds       float64 `json:"eval_seconds"`
+
+	// Retry amplification: server-side retries plus client-observed
+	// duplicate requests answered from cache.
+	Retries int `json:"retries"`
+	Resends int `json:"resends"`
+
+	// Measured bytes over the round's request spans (CapTrace runs tag
+	// them per span; zero on untraced or in-process runs).
+	BytesRead    int64 `json:"bytes_read"`
+	BytesWritten int64 `json:"bytes_written"`
+
+	// Complete reports a fully reconstructed round: every delivered
+	// request span has its client-side round span parented onto it
+	// (trivially true for in-process runs, where the client spans ARE the
+	// request-level spans).
+	Complete bool `json:"complete"`
+}
+
+// Report is the full cross-node reconstruction of one run's trace.
+type Report struct {
+	Trace  string   `json:"trace"`
+	Nodes  []string `json:"nodes"`
+	Spans  int      `json:"spans"`
+	Rounds []RoundReport `json:"rounds"`
+
+	// Orphans counts spans whose parent is missing from the merged input
+	// (usually: a client log analyzed without the server's, or vice
+	// versa). A complete merge has zero.
+	Orphans int `json:"orphans"`
+
+	// Rejoins lists mid-run re-registrations (client → round).
+	Rejoins []DroppedClient `json:"rejoins,omitempty"`
+
+	TotalSeconds    float64 `json:"total_seconds"`
+	TotalRetries    int     `json:"total_retries"`
+	TotalResends    int     `json:"total_resends"`
+	TotalBytesRead  int64   `json:"total_bytes_read"`
+	TotalBytesWrite int64   `json:"total_bytes_written"`
+}
+
+// sumNamed walks a subtree accumulating the durations of spans with the
+// given name.
+func sumNamed(s *span, name string) float64 {
+	var total float64
+	if s.Name == name {
+		total += s.seconds()
+	}
+	for _, c := range s.Children {
+		total += sumNamed(c, name)
+	}
+	return total
+}
+
+// countResends walks a subtree counting resend-labeled client spans.
+func countResends(s *span) int {
+	n := 0
+	if s.Labels["resend"] == "true" {
+		n++
+	}
+	for _, c := range s.Children {
+		n += countResends(c)
+	}
+	return n
+}
+
+// analyzeRound reduces one round span's subtree to a report row.
+func analyzeRound(rs *span) RoundReport {
+	round, _ := strconv.Atoi(rs.Labels["round"])
+	r := RoundReport{
+		Round:             round,
+		Seconds:           rs.seconds(),
+		AggregateSeconds:  sumNamed(rs, "server.aggregate"),
+		AuditSeconds:      sumNamed(rs, "server.audit"),
+		SynthesizeSeconds: sumNamed(rs, "server.synthesize"),
+		EvalSeconds:       sumNamed(rs, "server.eval"),
+		Complete:          true,
+	}
+	for _, c := range rs.Children {
+		switch c.Name {
+		case "server.request":
+			// Networked topology: round → server.request → client.round.
+			r.Clients++
+			r.Retries += int(c.intLabel("retries"))
+			r.BytesRead += c.intLabel("bytes_read")
+			r.BytesWritten += c.intLabel("bytes_written")
+			r.Resends += countResends(c)
+			if c.Labels["outcome"] == "dropped" {
+				r.Dropped = append(r.Dropped, DroppedClient{
+					Client: c.Labels["client"],
+					Reason: c.Labels["reason"],
+				})
+				continue
+			}
+			r.OK++
+			if c.seconds() > r.SlowestSeconds {
+				r.SlowestSeconds = c.seconds()
+				r.SlowestClient = c.Labels["client"]
+			}
+			// Delivered request with no client-side span: the client's log
+			// is missing from the merge (or the client ran untraced).
+			hasClientSide := false
+			for _, cc := range c.Children {
+				if cc.Name == "client.round" {
+					hasClientSide = true
+				}
+			}
+			if !hasClientSide {
+				r.Complete = false
+			}
+		case "client.round":
+			// In-process topology: round → client.round directly.
+			r.Clients++
+			r.OK++
+			if c.seconds() > r.SlowestSeconds {
+				r.SlowestSeconds = c.seconds()
+				r.SlowestClient = c.Labels["client"]
+			}
+		}
+	}
+	sort.Slice(r.Dropped, func(i, j int) bool { return r.Dropped[i].Client < r.Dropped[j].Client })
+	return r
+}
+
+// analyze reconstructs per-round reports from a merged span forest. Runs
+// are identified by "run" roots; when several run roots exist (repeated
+// runs appended to one log) the latest complete one is analyzed.
+func analyze(f *forest) (*Report, error) {
+	var run *span
+	for _, root := range f.Roots {
+		if root.Name == "run" {
+			run = root // roots are start-sorted: keep the latest
+		}
+	}
+	if run == nil {
+		return nil, fmt.Errorf("no run root span found (is this a traced event log?)")
+	}
+	rep := &Report{
+		Trace:        run.Trace,
+		Spans:        0,
+		Orphans:      len(f.Orphans),
+		TotalSeconds: run.seconds(),
+	}
+	nodes := map[string]bool{}
+	var walk func(*span)
+	var count int
+	walk = func(s *span) {
+		count++
+		nodes[s.Node] = true
+		for _, c := range s.Children {
+			walk(c)
+		}
+	}
+	walk(run)
+	rep.Spans = count
+	for n := range nodes {
+		rep.Nodes = append(rep.Nodes, n)
+	}
+	sort.Strings(rep.Nodes)
+
+	for _, c := range run.Children {
+		switch c.Name {
+		case "round":
+			r := analyzeRound(c)
+			rep.Rounds = append(rep.Rounds, r)
+			rep.TotalRetries += r.Retries
+			rep.TotalResends += r.Resends
+			rep.TotalBytesRead += r.BytesRead
+			rep.TotalBytesWrite += r.BytesWritten
+		case "client.rejoin":
+			rep.Rejoins = append(rep.Rejoins, DroppedClient{
+				Client: c.Labels["client"],
+				Reason: "round " + c.Labels["round"],
+			})
+		}
+	}
+	sort.Slice(rep.Rounds, func(i, j int) bool { return rep.Rounds[i].Round < rep.Rounds[j].Round })
+	return rep, nil
+}
+
+// writeText renders the report as a per-round table plus totals.
+func writeText(w io.Writer, rep *Report) {
+	fmt.Fprintf(w, "trace %s  nodes=%v  spans=%d  orphans=%d\n",
+		rep.Trace, rep.Nodes, rep.Spans, rep.Orphans)
+	fmt.Fprintf(w, "%5s %8s %7s %9s %9s %9s %7s %7s %10s  %s\n",
+		"round", "seconds", "clients", "slowest", "aggregate", "audit", "eval", "retry", "bytes r/w", "notes")
+	for _, r := range rep.Rounds {
+		notes := ""
+		if !r.Complete {
+			notes += "incomplete "
+		}
+		for _, d := range r.Dropped {
+			notes += fmt.Sprintf("drop(%s:%s) ", d.Client, d.Reason)
+		}
+		slow := "-"
+		if r.SlowestClient != "" {
+			slow = fmt.Sprintf("%.2fs#%s", r.SlowestSeconds, r.SlowestClient)
+		}
+		fmt.Fprintf(w, "%5d %8.2f %3d/%-3d %9s %9.3f %9.3f %7.3f %3d+%-3d %5d/%-5d %s\n",
+			r.Round, r.Seconds, r.OK, r.Clients, slow,
+			r.AggregateSeconds, r.AuditSeconds, r.EvalSeconds,
+			r.Retries, r.Resends, r.BytesRead, r.BytesWritten, notes)
+	}
+	for _, rj := range rep.Rejoins {
+		fmt.Fprintf(w, "rejoin: client %s at %s\n", rj.Client, rj.Reason)
+	}
+	fmt.Fprintf(w, "total %.2fs  retries=%d resends=%d  bytes=%d/%d\n",
+		rep.TotalSeconds, rep.TotalRetries, rep.TotalResends,
+		rep.TotalBytesRead, rep.TotalBytesWrite)
+}

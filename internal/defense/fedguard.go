@@ -99,7 +99,7 @@ func (g *FedGuard) Aggregate(ctx *fl.RoundContext) ([]float32, error) {
 	// audits are independent, so they fan out across AuditWorkers models;
 	// accs is index-ordered and the mean is reduced serially below, so the
 	// result does not depend on the worker count.
-	stopAudit := ctx.Telemetry.StartSpan("server.audit")
+	stopAudit := ctx.StartPhase("server.audit")
 	accs := make([]float64, len(updates))
 	if err := g.auditAll(updates, x, labels, accs); err != nil {
 		return nil, err
@@ -159,7 +159,7 @@ func (g *FedGuard) DetectionStats() (excluded, participated map[int]int) {
 // as ground truth. Exposed for tests and for the data-inspection
 // examples.
 func (g *FedGuard) Synthesize(ctx *fl.RoundContext) (*tensor.Tensor, []int, error) {
-	defer ctx.Telemetry.StartSpan("server.synthesize")()
+	defer ctx.StartPhase("server.synthesize")()
 	decoders, decoderClasses, err := g.activeDecoders(ctx)
 	if err != nil {
 		return nil, nil, err

@@ -133,7 +133,7 @@ func (s *Spectral) Aggregate(ctx *fl.RoundContext) ([]float32, error) {
 	if len(updates) == 0 {
 		return nil, aggregate.ErrNoUpdates
 	}
-	stopAudit := ctx.Telemetry.StartSpan("server.audit")
+	stopAudit := ctx.StartPhase("server.audit")
 	x := tensor.New(len(updates), s.SurrogateDim)
 	for i, u := range updates {
 		copy(x.Data[i*s.SurrogateDim:(i+1)*s.SurrogateDim], s.proj.apply(u.Weights))

@@ -65,6 +65,10 @@ func Run(setup Setup, sc Scenario, strategyName string, opts RunOptions) (*Resul
 	if opts.Seed != 0 {
 		seed = opts.Seed
 	}
+	tel := opts.Telemetry
+	if tel == nil {
+		tel = setup.Telemetry
+	}
 	cfg := fl.FederationConfig{
 		NumClients:        setup.NumClients,
 		PerRound:          setup.PerRound,
@@ -82,7 +86,7 @@ func Run(setup Setup, sc Scenario, strategyName string, opts RunOptions) (*Resul
 		Workers:    setup.Workers,
 		TestSubset: setup.TestSubset,
 		Seed:       seed,
-		Telemetry:  opts.Telemetry,
+		Telemetry:  tel,
 	}
 	if sc.MaliciousFraction > 0 {
 		cfg.Attack = att

@@ -12,6 +12,7 @@ import (
 	"fedguard/internal/classifier"
 	"fedguard/internal/cvae"
 	"fedguard/internal/rng"
+	"fedguard/internal/telemetry"
 
 	"fedguard/internal/dataset"
 )
@@ -55,6 +56,13 @@ type Setup struct {
 	TestSubset int
 	Seed       uint64
 	Workers    int
+
+	// Telemetry, when non-nil, is the default observability bundle for
+	// every run of this setup (events, metrics, and — when tracing is
+	// enabled on it — span trees). RunOptions.Telemetry overrides it per
+	// run. fedbench uses this to thread one -events sink through the whole
+	// matrix.
+	Telemetry *telemetry.T
 }
 
 // NewSetup returns the named preset.

@@ -35,6 +35,7 @@ package fednet
 import (
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"strconv"
 	"sync"
@@ -105,6 +106,17 @@ type Config struct {
 	// negotiated per connection, so compression-off peers interoperate
 	// unchanged. false (the default) keeps raw frames for everyone.
 	Compress bool
+
+	// Trace enables distributed trace-context propagation for clients
+	// that also advertise it (wire.CapTrace): round requests carry the
+	// server's request-span identity so the client's train/upload spans
+	// parent onto it, and updates carry the client's round-span identity
+	// back. Negotiated per connection exactly like Compress; legacy or
+	// trace-off peers interoperate on byte-identical legacy frames.
+	// Spans are actually minted only when Telemetry has tracing enabled
+	// (telemetry.T.EnableTracing); Trace alone just negotiates the
+	// capability.
+	Trace bool
 }
 
 // tolerant reports whether graceful degradation is enabled.
@@ -157,6 +169,11 @@ type Server struct {
 	initGlobal  []float32
 	decoders    map[int]*decoderCache // guarded by mu
 	decoderSize int
+
+	// runSpan is the root of the run's trace (nil when tracing is off).
+	// Assigned once in Run before the rejoin accept loop starts, so that
+	// goroutine can parent rejoin spans onto it without synchronization.
+	runSpan *telemetry.Span
 }
 
 // decoderCache is one client's last-delivered decoder payload.
@@ -209,6 +226,9 @@ type clientConn struct {
 
 	// enc marks a connection that negotiated the compressed encodings.
 	enc bool
+	// trace marks a connection that negotiated trace-context propagation
+	// (wire.CapTrace): round frames carry the trailing trace block.
+	trace bool
 	// Delta base for the next broadcast on this connection: the global of
 	// the last round a TrainRequestC was built for (nil = fresh
 	// connection, base ψ₀). The client mirrors this state — it decodes
@@ -256,6 +276,18 @@ func (s *Server) Run(ln net.Listener, onRound func(fl.RoundRecord)) (*fl.History
 	if err := s.register(ln); err != nil {
 		return nil, err
 	}
+	tel := s.cfg.Telemetry
+	if tel != nil && tel.Metrics != nil {
+		// Per-peer request latency wants log-spaced resolution: a LAN
+		// exchange and a straggler behind chaos injection differ by four
+		// orders of magnitude.
+		tel.Metrics.SetBuckets(telemetry.PeerLatencyMetric,
+			telemetry.LogBuckets(0.0005, 120, 5))
+	}
+	// Root of the run's trace (nil — and free — unless tracing was
+	// enabled on the bundle). Created before the rejoin accept loop
+	// starts so its goroutine can parent rejoin spans onto it.
+	s.runSpan = tel.StartRoot("run", telemetry.L("strategy", s.strategy.Name()))
 	defer func() {
 		for _, c := range s.snapshot() {
 			if s.cfg.tolerant() {
@@ -298,7 +330,6 @@ func (s *Server) Run(ln net.Listener, onRound func(fl.RoundRecord)) (*fl.History
 	needDecoders := s.strategy.NeedsDecoders()
 	history := &fl.History{Strategy: s.strategy.Name()}
 
-	tel := s.cfg.Telemetry
 	tel.Emit(telemetry.RunStarted{
 		Strategy:          s.strategy.Name(),
 		NumClients:        cfg.NumClients,
@@ -316,6 +347,7 @@ func (s *Server) Run(ln net.Listener, onRound func(fl.RoundRecord)) (*fl.History
 	for round := 1; round <= cfg.Rounds; round++ {
 		s.round.Store(int64(round))
 		trainStart := time.Now()
+		roundSpan := s.runSpan.Child("round", telemetry.L("round", strconv.Itoa(round)))
 		sampled := serverRNG.Sample(cfg.NumClients, cfg.PerRound)
 		var attackIDs []int
 		for _, id := range sampled {
@@ -327,14 +359,14 @@ func (s *Server) Run(ln net.Listener, onRound func(fl.RoundRecord)) (*fl.History
 			tel.Emit(telemetry.AttackSampled{Round: round, ClientIDs: attackIDs})
 		}
 
-		updates, dropped, err := s.trainRound(round, sampled, needDecoders, global)
+		updates, dropped, err := s.trainRound(round, sampled, needDecoders, global, roundSpan)
 		if err != nil {
 			return history, err
 		}
 		trainSecs := time.Since(trainStart).Seconds()
 
 		aggStart := time.Now()
-		stopAgg := tel.StartSpan("server.aggregate")
+		aggSpan, stopAgg := tel.StartPhase(roundSpan, "server.aggregate")
 		ctx := &fl.RoundContext{
 			Round:     round,
 			Global:    global,
@@ -342,6 +374,7 @@ func (s *Server) Run(ln net.Listener, onRound func(fl.RoundRecord)) (*fl.History
 			RNG:       serverRNG.Split(),
 			Report:    map[string]float64{},
 			Telemetry: tel,
+			Span:      aggSpan,
 		}
 		agg, err := s.strategy.Aggregate(ctx)
 		if err != nil {
@@ -389,7 +422,7 @@ func (s *Server) Run(ln net.Listener, onRound func(fl.RoundRecord)) (*fl.History
 		lastRead, lastWritten = read, written
 
 		evalStart := time.Now()
-		stopEval := tel.StartSpan("server.eval")
+		_, stopEval := tel.StartPhase(roundSpan, "server.eval")
 		if err := eval.LoadParams(global); err != nil {
 			return history, err
 		}
@@ -398,6 +431,9 @@ func (s *Server) Run(ln net.Listener, onRound func(fl.RoundRecord)) (*fl.History
 		rec.EvalSeconds = time.Since(evalStart).Seconds()
 		rec.Seconds = rec.TrainSeconds + rec.AggregateSeconds + rec.EvalSeconds
 
+		roundSpan.SetInt("sampled", int64(len(sampled)))
+		roundSpan.SetInt("dropped", int64(len(dropped)))
+		roundSpan.End()
 		fl.RecordRound(tel, rec)
 		history.Rounds = append(history.Rounds, rec)
 		if onRound != nil {
@@ -405,6 +441,7 @@ func (s *Server) Run(ln net.Listener, onRound func(fl.RoundRecord)) (*fl.History
 		}
 	}
 	history.FinalWeights = global
+	s.runSpan.End()
 	tel.Emit(telemetry.RunCompleted{
 		Rounds:        cfg.Rounds,
 		FinalAccuracy: history.FinalAccuracy(),
@@ -418,7 +455,7 @@ func (s *Server) Run(ln net.Listener, onRound func(fl.RoundRecord)) (*fl.History
 // failing clients are dropped (telemetry + connection teardown) and the
 // round proceeds as long as the quorum holds; in strict mode any failure
 // aborts.
-func (s *Server) trainRound(round int, sampled []int, needDecoders bool, global []float32) ([]fl.Update, []int, error) {
+func (s *Server) trainRound(round int, sampled []int, needDecoders bool, global []float32, roundSpan *telemetry.Span) ([]fl.Update, []int, error) {
 	tel := s.cfg.Telemetry
 	conns := make([]*clientConn, len(sampled))
 	s.mu.Lock()
@@ -438,12 +475,20 @@ func (s *Server) trainRound(round int, sampled []int, needDecoders bool, global 
 	for i := range sampled {
 		if conns[i] == nil {
 			errs[i] = errNotConnected
+			// A zero-length request span keeps the sampled client visible
+			// in the trace with its drop reason, so fedtrace's per-round
+			// tree is complete even for clients that never got a request.
+			sp := roundSpan.Child("server.request",
+				telemetry.L("client", strconv.Itoa(sampled[i])),
+				telemetry.L("outcome", "dropped"),
+				telemetry.L("reason", "disconnected"))
+			sp.End()
 			continue
 		}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = s.trainOne(conns[i], round, needDecoders, global, deadline)
+			results[i], errs[i] = s.trainOne(conns[i], round, needDecoders, global, deadline, roundSpan)
 		}(i)
 	}
 	wg.Wait()
@@ -564,8 +609,26 @@ func (s *Server) publishPeerBytes() {
 // deadline allows. Clients cache their last computed update per round,
 // so a re-request after a lost or corrupt frame does not retrain (and
 // does not perturb the client's deterministic random stream).
-func (s *Server) trainOne(c *clientConn, round int, needDecoder bool, global []float32, deadline time.Time) (fl.Update, error) {
+//
+// The whole per-client exchange — retries included — is one
+// "server.request" span under the round: its labels carry the retry
+// count, outcome (with drop reason on failure), negotiated encoding, and
+// the measured bytes both ways, and each attempt's latency lands in the
+// per-peer histogram. On CapTrace connections the span's context rides
+// the request frame so the client's spans parent onto it.
+func (s *Server) trainOne(c *clientConn, round int, needDecoder bool, global []float32, deadline time.Time, roundSpan *telemetry.Span) (fl.Update, error) {
 	tel := s.cfg.Telemetry
+	clientLabel := telemetry.L("client", strconv.Itoa(c.id))
+	sp := roundSpan.Child("server.request", clientLabel,
+		telemetry.L("encoding", encName(c.enc)))
+	retries := 0
+	r0, w0 := c.count.BytesRead(), c.count.BytesWritten()
+	defer func() {
+		sp.SetInt("retries", int64(retries))
+		sp.SetInt("bytes_read", c.count.BytesRead()-r0)
+		sp.SetInt("bytes_written", c.count.BytesWritten()-w0)
+		sp.End()
+	}()
 	backoff := s.cfg.RetryBackoff
 	var lastErr error
 	for attempt := 0; ; attempt++ {
@@ -578,10 +641,15 @@ func (s *Server) trainOne(c *clientConn, round int, needDecoder bool, global []f
 			}
 			time.Sleep(backoff)
 			backoff *= 2
+			retries++
 			tel.AddCounter("fedguard_net_retries_total", 1)
 		}
-		u, err := s.requestOnce(c, round, needDecoder, global, deadline)
+		attemptStart := time.Now()
+		u, err := s.requestOnce(c, round, needDecoder, global, deadline, sp)
+		tel.Observe(telemetry.PeerLatencyMetric,
+			time.Since(attemptStart).Seconds(), clientLabel)
 		if err == nil {
+			sp.SetLabel("outcome", "ok")
 			return u, nil
 		}
 		lastErr = err
@@ -593,14 +661,27 @@ func (s *Server) trainOne(c *clientConn, round int, needDecoder bool, global []f
 			break
 		}
 	}
+	sp.SetLabel("outcome", "dropped")
+	sp.SetLabel("reason", dropReason(lastErr))
 	return fl.Update{}, lastErr
+}
+
+// encName labels a connection's negotiated wire encoding.
+func encName(enc bool) string {
+	if enc {
+		return "codec"
+	}
+	return "raw"
 }
 
 // requestOnce performs a single request/update exchange under the
 // configured deadlines, skipping stale updates left over from earlier
 // retried rounds. The request shape follows the connection's negotiated
-// encoding: raw TrainRequest/Update, or the compressed variants.
-func (s *Server) requestOnce(c *clientConn, round int, needDecoder bool, global []float32, deadline time.Time) (fl.Update, error) {
+// encoding: raw TrainRequest/Update, or the compressed variants. On
+// CapTrace connections the frame carries reqSpan's context; the span is
+// constant across a round's retries (trainOne owns it), so retried
+// frames stay byte-identical.
+func (s *Server) requestOnce(c *clientConn, round int, needDecoder bool, global []float32, deadline time.Time, reqSpan *telemetry.Span) (fl.Update, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.conn.SetDeadline(s.opDeadline(deadline))
@@ -608,11 +689,15 @@ func (s *Server) requestOnce(c *clientConn, round int, needDecoder bool, global 
 	var req any
 	if c.enc {
 		var err error
-		if req, err = s.buildRequestC(c, round, needDecoder, global); err != nil {
+		if req, err = s.buildRequestC(c, round, needDecoder, global, reqSpan); err != nil {
 			return fl.Update{}, err
 		}
 	} else {
-		req = &wire.TrainRequest{Round: uint32(round), NeedDecoder: needDecoder, Global: global}
+		tr := &wire.TrainRequest{Round: uint32(round), NeedDecoder: needDecoder, Global: global}
+		if c.trace {
+			tr.Trace = wireTrace(reqSpan.Context())
+		}
+		req = tr
 	}
 	if err := c.send(req); err != nil {
 		return fl.Update{}, err
@@ -674,7 +759,7 @@ func (s *Server) requestOnce(c *clientConn, round int, needDecoder bool, global 
 // Retries of the same round reuse the cached request verbatim — a
 // re-encode against a moved base would desynchronize the peer.
 // Caller holds c.mu.
-func (s *Server) buildRequestC(c *clientConn, round int, needDecoder bool, global []float32) (*wire.TrainRequestC, error) {
+func (s *Server) buildRequestC(c *clientConn, round int, needDecoder bool, global []float32, reqSpan *telemetry.Span) (*wire.TrainRequestC, error) {
 	if c.lastTR != nil && c.lastTR.Round == uint32(round) {
 		return c.lastTR, nil
 	}
@@ -701,6 +786,11 @@ func (s *Server) buildRequestC(c *clientConn, round int, needDecoder bool, globa
 		BaseRound:   baseRound,
 		NumParams:   uint32(len(global)),
 		Payload:     payload,
+	}
+	if c.trace {
+		// Attached once at build time: the cached frame (and thus every
+		// retry) carries the identical trace block.
+		tr.Trace = wireTrace(reqSpan.Context())
 	}
 	c.lastTR = tr
 	c.baseVec = global
@@ -898,7 +988,13 @@ func (s *Server) handshake(conn net.Conn) (*clientConn, error) {
 	// after a drop safe.
 	if s.cfg.Compress && hello.Encodings&wire.CapCodec != 0 {
 		c.enc = true
-		setup.Encodings = wire.CapCodec
+		setup.Encodings |= wire.CapCodec
+	}
+	// Trace-context propagation negotiates the same way: both ends must
+	// opt in, and a silent peer keeps legacy frames byte-for-byte.
+	if s.cfg.Trace && hello.Encodings&wire.CapTrace != 0 {
+		c.trace = true
+		setup.Encodings |= wire.CapTrace
 	}
 	if err := c.send(setup); err != nil {
 		return nil, fmt.Errorf("fednet: sending setup to %d: %w", id, err)
@@ -942,6 +1038,11 @@ func (s *Server) acceptRejoins(ln net.Listener, stop <-chan struct{}, wg *sync.W
 		if old != nil {
 			old.count.Close()
 		}
+		// A zero-length span makes the rejoin visible on the run's
+		// timeline alongside the round spans.
+		rj := s.runSpan.Child("client.rejoin", telemetry.L("client", strconv.Itoa(c.id)))
+		rj.SetInt("round", s.round.Load())
+		rj.End()
 		s.cfg.Telemetry.Emit(telemetry.ClientRejoined{
 			Round:    int(s.round.Load()),
 			ClientID: c.id,
@@ -1011,6 +1112,17 @@ type ClientOptions struct {
 	// compress-on client against a compress-off (or legacy) server just
 	// runs raw frames.
 	Compress bool
+	// Trace advertises the trace-propagation capability (wire.CapTrace).
+	// Effective only when the server opts in too AND Telemetry below has
+	// tracing enabled; otherwise the client runs legacy frames and local
+	// flat timers.
+	Trace bool
+	// Telemetry, when non-nil, receives the client's phase metrics and —
+	// with tracing enabled via EnableTracing — its span tree, parented
+	// onto the server's request spans on CapTrace connections. The
+	// connection is wrapped for byte accounting so upload spans carry
+	// measured byte counts.
+	Telemetry *telemetry.T
 }
 
 // RunClientResilient is RunClient with a reconnect loop: when the
@@ -1039,16 +1151,28 @@ func ServeClient(conn net.Conn, clientID int) error {
 
 // ServeClientOpts is ServeClient with options: when opts.Compress is set
 // and the server's Setup confirms the capability, all round traffic uses
-// the compressed message types.
+// the compressed message types; when opts.Trace (and the server's
+// confirmation) is set, round frames carry trace context both ways.
 func ServeClientOpts(conn net.Conn, clientID int, opts ClientOptions) error {
 	hello := &wire.Hello{ClientID: uint32(clientID)}
 	if opts.Compress {
-		hello.Encodings = wire.CapCodec
+		hello.Encodings |= wire.CapCodec
 	}
-	if err := wire.WriteMessage(conn, hello); err != nil {
+	if opts.Trace {
+		hello.Encodings |= wire.CapTrace
+	}
+	// With telemetry attached, wrap the stream for byte accounting so
+	// upload spans can carry measured byte counts.
+	var rw io.ReadWriter = conn
+	var count *wire.CountingConn
+	if opts.Telemetry != nil {
+		count = wire.NewCountingConn(conn)
+		rw = count
+	}
+	if err := wire.WriteMessage(rw, hello); err != nil {
 		return err
 	}
-	msg, err := wire.ReadMessage(conn)
+	msg, err := wire.ReadMessage(rw)
 	if err != nil {
 		return fmt.Errorf("fednet: reading setup: %w", err)
 	}
@@ -1061,41 +1185,62 @@ func ServeClientOpts(conn net.Conn, clientID int, opts ClientOptions) error {
 	if err != nil {
 		return err
 	}
+	tel := opts.Telemetry
+	client.SetTelemetry(tel)
 	if opts.Compress && setup.Encodings&wire.CapCodec != 0 {
-		return serveCompressed(conn, clientID, setup, client)
+		return serveCompressed(rw, clientID, setup, client, tel, count)
 	}
 
 	// The last computed update, kept so a server re-request for the same
 	// round (after a timeout or a corrupt frame) is answered from cache:
 	// retraining would advance the client's private random stream and
-	// break the run's determinism.
+	// break the run's determinism. The cached frame includes its original
+	// trace context, so retries resend byte-identical frames.
 	var last *wire.Update
 	for {
-		msg, err := wire.ReadMessage(conn)
+		msg, err := wire.ReadMessage(rw)
 		if err != nil {
 			return fmt.Errorf("fednet: client %d read: %w", clientID, err)
 		}
 		switch m := msg.(type) {
 		case *wire.TrainRequest:
-			resp := last
-			if resp == nil || resp.Round != m.Round {
-				u := client.RunRound(m.Global, m.NeedDecoder)
-				resp = &wire.Update{
-					Round:      m.Round,
-					ClientID:   uint32(u.ClientID),
-					NumSamples: uint32(u.NumSamples),
-					Weights:    u.Weights,
-					Decoder:    u.Decoder,
+			if last != nil && last.Round == m.Round {
+				// Duplicate request: answer from cache under a short span
+				// labeled as a resend, so retry amplification is visible
+				// from the client's side of the trace too.
+				sp := tel.StartRemote(spanCtx(m.Trace), "client.round",
+					clientRoundLabels(clientID, m.Round, true)...)
+				err := wire.WriteMessage(rw, last)
+				sp.End()
+				if err != nil {
+					return fmt.Errorf("fednet: client %d write: %w", clientID, err)
 				}
-				if len(u.DecoderClasses) > 0 {
-					resp.DecoderClasses = make([]uint32, len(u.DecoderClasses))
-					for i, v := range u.DecoderClasses {
-						resp.DecoderClasses[i] = uint32(v)
-					}
-				}
-				last = resp
+				continue
 			}
-			if err := wire.WriteMessage(conn, resp); err != nil {
+			// The round span parents onto the server's request span when
+			// the frame carries trace context (StartRemote degrades to a
+			// local root otherwise).
+			sp := tel.StartRemote(spanCtx(m.Trace), "client.round",
+				clientRoundLabels(clientID, m.Round, false)...)
+			u := client.RunRoundSpan(m.Global, m.NeedDecoder, sp)
+			resp := &wire.Update{
+				Round:      m.Round,
+				ClientID:   uint32(u.ClientID),
+				NumSamples: uint32(u.NumSamples),
+				Weights:    u.Weights,
+				Decoder:    u.Decoder,
+			}
+			if len(u.DecoderClasses) > 0 {
+				resp.DecoderClasses = make([]uint32, len(u.DecoderClasses))
+				for i, v := range u.DecoderClasses {
+					resp.DecoderClasses[i] = uint32(v)
+				}
+			}
+			resp.Trace = wireTrace(sp.Context())
+			last = resp
+			err := uploadSpanned(rw, resp, sp, count)
+			sp.End()
+			if err != nil {
 				return fmt.Errorf("fednet: client %d write: %w", clientID, err)
 			}
 		case *wire.Shutdown:
@@ -1106,13 +1251,52 @@ func ServeClientOpts(conn net.Conn, clientID int, opts ClientOptions) error {
 	}
 }
 
+// spanCtx converts a wire trace block into a span context.
+func spanCtx(t wire.Trace) telemetry.SpanContext {
+	return telemetry.SpanContext{TraceID: t.TraceID, SpanID: t.SpanID}
+}
+
+// wireTrace is the inverse of spanCtx (zero context → zero block → no
+// bytes on the wire).
+func wireTrace(c telemetry.SpanContext) wire.Trace {
+	return wire.Trace{TraceID: c.TraceID, SpanID: c.SpanID}
+}
+
+// clientRoundLabels builds the standard client.round span labels.
+func clientRoundLabels(clientID int, round uint32, resend bool) []telemetry.Label {
+	labels := []telemetry.Label{
+		telemetry.L("client", strconv.Itoa(clientID)),
+		telemetry.L("round", strconv.Itoa(int(round))),
+	}
+	if resend {
+		labels = append(labels, telemetry.L("resend", "true"))
+	}
+	return labels
+}
+
+// uploadSpanned writes one update frame under a "client.upload" child
+// span carrying the measured byte count when accounting is available.
+func uploadSpanned(w io.Writer, msg any, parent *telemetry.Span, count *wire.CountingConn) error {
+	up := parent.Child("client.upload")
+	var w0 int64
+	if count != nil {
+		w0 = count.BytesWritten()
+	}
+	err := wire.WriteMessage(w, msg)
+	if count != nil {
+		up.SetInt("bytes", count.BytesWritten()-w0)
+	}
+	up.End()
+	return err
+}
+
 // serveCompressed is the client round loop over the negotiated codec
 // encodings. The client mirrors the server's per-connection reference
 // state: it starts from the locally derived ψ₀ and advances its delta
 // base exactly once per distinct round — a duplicate request (the
 // server retrying after a timeout or corrupt frame) is answered from
 // the cached response without decoding, so the base never moves twice.
-func serveCompressed(conn net.Conn, clientID int, setup *wire.Setup, client *fl.Client) error {
+func serveCompressed(rw io.ReadWriter, clientID int, setup *wire.Setup, client *fl.Client, tel *telemetry.T, count *wire.CountingConn) error {
 	arch, err := classifier.ByName(setup.ArchName)
 	if err != nil {
 		return err
@@ -1121,18 +1305,25 @@ func serveCompressed(conn net.Conn, clientID int, setup *wire.Setup, client *fl.
 	baseRound := uint32(0)
 	var last *wire.UpdateC
 	for {
-		msg, err := wire.ReadMessage(conn)
+		msg, err := wire.ReadMessage(rw)
 		if err != nil {
 			return fmt.Errorf("fednet: client %d read: %w", clientID, err)
 		}
 		switch m := msg.(type) {
 		case *wire.TrainRequestC:
 			if last != nil && last.Round == m.Round {
-				if err := wire.WriteMessage(conn, last); err != nil {
+				sp := tel.StartRemote(spanCtx(m.Trace), "client.round",
+					clientRoundLabels(clientID, m.Round, true)...)
+				err := wire.WriteMessage(rw, last)
+				sp.End()
+				if err != nil {
 					return fmt.Errorf("fednet: client %d write: %w", clientID, err)
 				}
 				continue
 			}
+			sp := tel.StartRemote(spanCtx(m.Trace), "client.round",
+				clientRoundLabels(clientID, m.Round, false)...)
+			_, stopDecode := tel.StartPhase(sp, "client.decode")
 			var global []float32
 			switch m.Encoding {
 			case wire.EncDelta:
@@ -1149,11 +1340,13 @@ func serveCompressed(conn net.Conn, clientID int, setup *wire.Setup, client *fl.
 			if err == nil && len(global) != int(m.NumParams) {
 				err = fmt.Errorf("decoded %d params, header says %d", len(global), m.NumParams)
 			}
+			stopDecode()
 			if err != nil {
 				return fmt.Errorf("fednet: client %d broadcast: %w", clientID, err)
 			}
 
-			u := client.RunRound(global, m.NeedDecoder)
+			u := client.RunRoundSpan(global, m.NeedDecoder, sp)
+			_, stopEncode := tel.StartPhase(sp, "client.encode")
 			blob, err := codec.EncodeDelta(u.Weights, global)
 			if err != nil {
 				return fmt.Errorf("fednet: client %d encode: %w", clientID, err)
@@ -1182,9 +1375,13 @@ func serveCompressed(conn net.Conn, clientID int, setup *wire.Setup, client *fl.
 					}
 				}
 			}
+			stopEncode()
+			resp.Trace = wireTrace(sp.Context())
 			base, baseRound = global, m.Round
 			last = resp
-			if err := wire.WriteMessage(conn, resp); err != nil {
+			err = uploadSpanned(rw, resp, sp, count)
+			sp.End()
+			if err != nil {
 				return fmt.Errorf("fednet: client %d write: %w", clientID, err)
 			}
 		case *wire.Shutdown:

@@ -1,0 +1,228 @@
+package fednet
+
+import (
+	"net"
+	"reflect"
+	"strconv"
+	"sync"
+	"testing"
+
+	"fedguard/internal/aggregate"
+	"fedguard/internal/dataset"
+	"fedguard/internal/rng"
+	"fedguard/internal/telemetry"
+)
+
+// runTracedLoopback runs one traced federation over loopback TCP with a
+// per-client telemetry bundle, returning the server's sink and one sink
+// per client. opts.Telemetry/Trace are overridden per client.
+func runTracedLoopback(t *testing.T, cfg Config, opts ClientOptions) (*telemetry.CollectSink, []*telemetry.CollectSink) {
+	t.Helper()
+	serverSink := &telemetry.CollectSink{}
+	cfg.Telemetry = telemetry.New(serverSink)
+	cfg.Telemetry.EnableTracing("server")
+	cfg.Trace = true
+
+	test := dataset.Generate(40, dataset.DefaultGenOptions(), rng.New(5))
+	srv, err := NewServer(cfg, test, aggregate.NewFedAvg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	clientSinks := make([]*telemetry.CollectSink, cfg.Experiment.NumClients)
+	var wg sync.WaitGroup
+	for id := 0; id < cfg.Experiment.NumClients; id++ {
+		sink := &telemetry.CollectSink{}
+		clientSinks[id] = sink
+		o := opts
+		if o.Trace {
+			o.Telemetry = telemetry.New(sink)
+			o.Telemetry.EnableTracing("client-" + strconv.Itoa(id))
+		}
+		wg.Add(1)
+		go func(id int, o ClientOptions) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				t.Errorf("client %d: %v", id, err)
+				return
+			}
+			defer conn.Close()
+			if err := ServeClientOpts(conn, id, o); err != nil {
+				t.Errorf("client %d: %v", id, err)
+			}
+		}(id, o)
+	}
+	if _, err := srv.Run(ln, nil); err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	wg.Wait()
+	return serverSink, clientSinks
+}
+
+func spansOf(sink *telemetry.CollectSink) []telemetry.SpanEnded {
+	var out []telemetry.SpanEnded
+	for _, ev := range sink.ByKind("Span") {
+		out = append(out, ev.(telemetry.SpanEnded))
+	}
+	return out
+}
+
+func labelOf(s telemetry.SpanEnded, key string) string {
+	for _, l := range s.Labels {
+		if l.Key == key {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+// TestTracedLoopbackPropagatesSpanContext pins the wire propagation: a
+// traced client's round spans carry the server's trace ID and parent
+// onto the exact server.request span IDs the server exported — the
+// cross-process causality CapTrace exists for.
+func TestTracedLoopbackPropagatesSpanContext(t *testing.T) {
+	serverSink, clientSinks := runTracedLoopback(t, testConfig(), ClientOptions{Trace: true})
+
+	serverSpans := spansOf(serverSink)
+	var traceID string
+	requests := map[string]bool{} // span ID → seen
+	for _, s := range serverSpans {
+		if s.Name == "run" {
+			traceID = s.Trace
+		}
+		if s.Name == "server.request" {
+			requests[s.Span] = true
+			if labelOf(s, "outcome") != "ok" {
+				t.Fatalf("fault-free run has non-ok request: %+v", s)
+			}
+			if labelOf(s, "encoding") != "raw" {
+				t.Fatalf("uncompressed run negotiated encoding %q", labelOf(s, "encoding"))
+			}
+		}
+	}
+	if traceID == "" || len(requests) == 0 {
+		t.Fatalf("server exported no run/request spans (%d spans)", len(serverSpans))
+	}
+
+	rounds, trains, uploads := 0, 0, 0
+	for id, sink := range clientSinks {
+		for _, s := range spansOf(sink) {
+			if s.Trace != traceID {
+				t.Fatalf("client %d span %q has trace %s, want %s", id, s.Name, s.Trace, traceID)
+			}
+			switch s.Name {
+			case "client.round":
+				rounds++
+				if !requests[s.Parent] {
+					t.Fatalf("client %d round span parents onto unknown span %s", id, s.Parent)
+				}
+				if labelOf(s, "client") != strconv.Itoa(id) {
+					t.Fatalf("client %d span labeled client=%q", id, labelOf(s, "client"))
+				}
+			case "client.train":
+				trains++
+			case "client.upload":
+				uploads++
+				if labelOf(s, "bytes") == "" || labelOf(s, "bytes") == "0" {
+					t.Fatalf("upload span without byte count: %+v", s)
+				}
+			}
+		}
+	}
+	want := testConfig().Experiment.PerRound * testConfig().Experiment.Rounds
+	if rounds != want {
+		t.Fatalf("%d client.round spans, want %d", rounds, want)
+	}
+	if trains != want || uploads != want {
+		t.Fatalf("train/upload spans %d/%d, want %d each", trains, uploads, want)
+	}
+}
+
+// TestTracedLegacyClientInterop runs a traced server against clients
+// that never advertise CapTrace: the run must complete normally, the
+// server still exports its own tree, and no trace block reaches the
+// legacy peers (their spans, if any, would fail to parent — they simply
+// have none, having no tracer).
+func TestTracedLegacyClientInterop(t *testing.T) {
+	serverSink, clientSinks := runTracedLoopback(t, testConfig(), ClientOptions{})
+	if len(spansOf(serverSink)) == 0 {
+		t.Fatal("traced server exported no spans against legacy clients")
+	}
+	for id, sink := range clientSinks {
+		if n := len(spansOf(sink)); n != 0 {
+			t.Fatalf("legacy client %d exported %d spans", id, n)
+		}
+	}
+	for _, s := range spansOf(serverSink) {
+		if s.Name == "server.request" && labelOf(s, "outcome") != "ok" {
+			t.Fatalf("legacy interop dropped a client: %+v", s)
+		}
+	}
+}
+
+// TestTracedMatchesUntracedWeights pins that tracing is observation
+// only: the same configuration with tracing on and off produces
+// bit-identical final weights (the trailing trace block never perturbs
+// the model payload or the round schedule).
+func TestTracedMatchesUntracedWeights(t *testing.T) {
+	test := dataset.Generate(40, dataset.DefaultGenOptions(), rng.New(5))
+	plain := runLoopback(t, testConfig(), aggregate.NewFedAvg(), test)
+
+	serverSink := &telemetry.CollectSink{}
+	cfg := testConfig()
+	cfg.Telemetry = telemetry.New(serverSink)
+	cfg.Telemetry.EnableTracing("server")
+	cfg.Trace = true
+	traced := runLoopbackOpts(t, cfg, aggregate.NewFedAvg(), test,
+		ClientOptions{Trace: true, Telemetry: telemetry.New(&telemetry.CollectSink{})})
+
+	if !reflect.DeepEqual(plain.FinalWeights, traced.FinalWeights) {
+		t.Fatal("tracing changed the final weights")
+	}
+	if len(serverSink.ByKind("Span")) == 0 {
+		t.Fatal("traced run exported no spans")
+	}
+}
+
+// TestTracedCompressedLoopback exercises CapTrace and CapCodec together:
+// the trace block rides after the compressed bodies, so spans must still
+// parent across the wire and the negotiated encoding label must say so.
+func TestTracedCompressedLoopback(t *testing.T) {
+	cfg := testConfig()
+	cfg.Compress = true
+	serverSink, clientSinks := runTracedLoopback(t, cfg, ClientOptions{Trace: true, Compress: true})
+
+	requests := map[string]bool{}
+	for _, s := range spansOf(serverSink) {
+		if s.Name == "server.request" {
+			requests[s.Span] = true
+			if labelOf(s, "encoding") != "codec" {
+				t.Fatalf("compressed run negotiated encoding %q", labelOf(s, "encoding"))
+			}
+		}
+	}
+	decodes, encodes := 0, 0
+	for id, sink := range clientSinks {
+		for _, s := range spansOf(sink) {
+			switch s.Name {
+			case "client.round":
+				if !requests[s.Parent] {
+					t.Fatalf("client %d compressed round span orphaned (parent %s)", id, s.Parent)
+				}
+			case "client.decode":
+				decodes++
+			case "client.encode":
+				encodes++
+			}
+		}
+	}
+	if decodes == 0 || encodes == 0 {
+		t.Fatalf("codec phases missing from trace: %d decodes, %d encodes", decodes, encodes)
+	}
+}

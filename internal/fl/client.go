@@ -118,6 +118,15 @@ func (c *Client) view() (*dataset.Dataset, []int) {
 // decoder payload, training the CVAE first if this is its first
 // participation.
 func (c *Client) RunRound(global []float32, needDecoder bool) Update {
+	return c.RunRoundSpan(global, needDecoder, nil)
+}
+
+// RunRoundSpan is RunRound with an explicit trace parent: the client's
+// train/cvae_train phases become children of parent when the run is
+// traced (in-process runs hand in the per-client round span; the
+// networked client parents onto the span received over the wire). A nil
+// parent degrades to the flat phase timers.
+func (c *Client) RunRoundSpan(global []float32, needDecoder bool, parent *telemetry.Span) Update {
 	if c.grow > 0 && c.visible < len(c.indices) {
 		c.visible += c.grow
 		if c.visible > len(c.indices) {
@@ -127,7 +136,7 @@ func (c *Client) RunRound(global []float32, needDecoder bool) Update {
 	}
 	ds, indices := c.view()
 
-	stopTrain := c.tel.StartSpan("client.train")
+	_, stopTrain := c.tel.StartPhase(parent, "client.train")
 	model := c.cfg.Arch(c.rng)
 	if err := model.LoadParams(global); err != nil {
 		panic(err) // architecture mismatch is a programming error
@@ -143,7 +152,7 @@ func (c *Client) RunRound(global []float32, needDecoder bool) Update {
 
 	u := Update{ClientID: c.ID, Weights: weights, NumSamples: len(indices)}
 	if needDecoder {
-		u.Decoder, u.DecoderClasses = c.decoderPayload()
+		u.Decoder, u.DecoderClasses = c.decoderPayload(parent)
 	}
 	return u
 }
@@ -152,10 +161,11 @@ func (c *Client) RunRound(global []float32, needDecoder bool) Update {
 // streaming mode, retrains it every retrainEvery participations so the
 // decoder tracks the evolving local distribution — returning the cached
 // flat decoder vector and the classes it was trained on.
-func (c *Client) decoderPayload() ([]float32, []int) {
+func (c *Client) decoderPayload(parent *telemetry.Span) ([]float32, []int) {
 	stale := c.retrainEvery > 0 && c.sinceCVAETrain >= c.retrainEvery
 	if c.decoder == nil || stale {
-		defer c.tel.StartSpan("client.cvae_train")()
+		_, stop := c.tel.StartPhase(parent, "client.cvae_train")
+		defer stop()
 		ds, indices := c.view()
 		m := cvae.New(c.cfg.CVAE, c.rng)
 		m.Train(ds, indices, c.cfg.CVAETrain, c.rng)

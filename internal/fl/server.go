@@ -3,6 +3,7 @@ package fl
 import (
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
@@ -204,9 +205,15 @@ func (f *Federation) Run(strategy Strategy, onRound func(RoundRecord)) (*History
 		MaliciousFraction: cfg.MaliciousFraction,
 	})
 	runStart := time.Now()
+	// Root of the run's trace (nil — and free — unless EnableTracing was
+	// called on the bundle). The in-process topology mirrors the
+	// networked one: run → round → client.round → client.train/…, so
+	// cmd/fedtrace reads both the same way.
+	runSpan := tel.StartRoot("run", telemetry.L("strategy", strategy.Name()))
 
 	for round := 1; round <= cfg.Rounds; round++ {
 		trainStart := time.Now()
+		roundSpan := runSpan.Child("round", telemetry.L("round", strconv.Itoa(round)))
 
 		// J ← sample(range(1,N), m) (Alg. 1 line 17).
 		sampled := sampler.SampleClients(round, cfg.NumClients, cfg.PerRound, serverRNG)
@@ -220,11 +227,11 @@ func (f *Federation) Run(strategy Strategy, onRound func(RoundRecord)) (*History
 			tel.Emit(telemetry.AttackSampled{Round: round, ClientIDs: attackIDs})
 		}
 		updates := make([]Update, len(sampled))
-		f.trainSampled(clients, sampled, global, needDecoders, updates)
+		f.trainSampled(clients, sampled, global, needDecoders, updates, roundSpan)
 		trainSecs := time.Since(trainStart).Seconds()
 
 		aggStart := time.Now()
-		stopAgg := tel.StartSpan("server.aggregate")
+		aggSpan, stopAgg := tel.StartPhase(roundSpan, "server.aggregate")
 		ctx := &RoundContext{
 			Round:     round,
 			Global:    global,
@@ -232,6 +239,7 @@ func (f *Federation) Run(strategy Strategy, onRound func(RoundRecord)) (*History
 			RNG:       serverRNG.Split(),
 			Report:    map[string]float64{},
 			Telemetry: tel,
+			Span:      aggSpan,
 		}
 		agg, err := strategy.Aggregate(ctx)
 		if err != nil {
@@ -288,7 +296,7 @@ func (f *Federation) Run(strategy Strategy, onRound func(RoundRecord)) (*History
 		}
 
 		evalStart := time.Now()
-		stopEval := tel.StartSpan("server.eval")
+		_, stopEval := tel.StartPhase(roundSpan, "server.eval")
 		if err := evalModel.LoadParams(global); err != nil {
 			return history, err
 		}
@@ -297,6 +305,8 @@ func (f *Federation) Run(strategy Strategy, onRound func(RoundRecord)) (*History
 		rec.EvalSeconds = time.Since(evalStart).Seconds()
 		rec.Seconds = rec.TrainSeconds + rec.AggregateSeconds + rec.EvalSeconds
 
+		roundSpan.SetInt("sampled", int64(len(sampled)))
+		roundSpan.End()
 		RecordRound(tel, rec)
 		history.Rounds = append(history.Rounds, rec)
 		if onRound != nil {
@@ -304,6 +314,7 @@ func (f *Federation) Run(strategy Strategy, onRound func(RoundRecord)) (*History
 		}
 	}
 	history.FinalWeights = global
+	runSpan.End()
 	tel.Emit(telemetry.RunCompleted{
 		Rounds:        cfg.Rounds,
 		FinalAccuracy: history.FinalAccuracy(),
@@ -375,8 +386,10 @@ func ClientRNGSeed(seed uint64, id int) uint64 {
 }
 
 // trainSampled runs the sampled clients' local training on a bounded
-// worker pool, writing each update at its position.
-func (f *Federation) trainSampled(clients []*Client, sampled []int, global []float32, needDecoders bool, out []Update) {
+// worker pool, writing each update at its position. When roundSpan is
+// live each client gets a "client.round" child span, so the in-process
+// trace carries the same per-client topology a networked run does.
+func (f *Federation) trainSampled(clients []*Client, sampled []int, global []float32, needDecoders bool, out []Update, roundSpan *telemetry.Span) {
 	sem := make(chan struct{}, f.cfg.Workers)
 	var wg sync.WaitGroup
 	for i, id := range sampled {
@@ -385,7 +398,10 @@ func (f *Federation) trainSampled(clients []*Client, sampled []int, global []flo
 		go func(i, id int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			out[i] = clients[id].RunRound(global, needDecoders)
+			sp := roundSpan.Child("client.round", telemetry.L("client", strconv.Itoa(id)))
+			out[i] = clients[id].RunRoundSpan(global, needDecoders, sp)
+			sp.SetInt("num_samples", int64(out[i].NumSamples))
+			sp.End()
 		}(i, id)
 	}
 	wg.Wait()

@@ -75,6 +75,19 @@ type RoundContext struct {
 	// strategy may call its methods (and ExcludeClient below)
 	// unconditionally.
 	Telemetry *telemetry.T
+	// Span is the aggregation span of this round's trace, when tracing is
+	// enabled (nil otherwise — and nil is safe). Strategies open their
+	// phase timers through StartPhase so sub-phases land in the trace
+	// tree when one exists and in the flat histograms either way.
+	Span *telemetry.Span
+}
+
+// StartPhase opens a named sub-phase of this round's aggregation: a
+// child span of ctx.Span when the run is traced, a flat phase timer
+// otherwise. Call the returned stop function exactly once (defer).
+func (ctx *RoundContext) StartPhase(name string, labels ...telemetry.Label) func() {
+	_, stop := ctx.Telemetry.StartPhase(ctx.Span, name, labels...)
+	return stop
 }
 
 // ExcludeClient records that a defense rejected the given client's

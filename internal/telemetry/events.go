@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -148,18 +149,27 @@ type envelope struct {
 }
 
 // JSONLSink writes one JSON object per event to an io.Writer, newline
-// delimited. Marshalling errors are swallowed (telemetry must never
-// abort an experiment); write errors are retained and available via Err.
+// delimited and buffered (64 KiB — span-heavy traced runs emit far too
+// many events for one syscall each). Marshalling errors are swallowed
+// (telemetry must never abort an experiment); write errors are retained
+// and available via Err.
+//
+// JSONLSink is goroutine-safe: Emit and Flush may be called from any
+// number of goroutines (the networked server's per-client request
+// goroutines all share one sink). The buffer is flushed automatically
+// when a RunCompleted event passes through, so the log on disk is
+// complete at the moment a run logically ends even if the process never
+// reaches Close.
 type JSONLSink struct {
 	mu  sync.Mutex
-	w   io.Writer
+	w   *bufio.Writer
 	err error
 	now func() time.Time
 }
 
 // NewJSONLSink wraps w.
 func NewJSONLSink(w io.Writer) *JSONLSink {
-	return &JSONLSink{w: w, now: time.Now}
+	return &JSONLSink{w: bufio.NewWriterSize(w, 64<<10), now: time.Now}
 }
 
 // Emit implements Sink.
@@ -178,6 +188,22 @@ func (s *JSONLSink) Emit(e Event) {
 	if s.err == nil {
 		_, s.err = s.w.Write(b)
 	}
+	// RunCompleted closes the logical stream: make the file complete now,
+	// not at whenever Close happens to run.
+	if _, done := e.(RunCompleted); done && s.err == nil {
+		s.err = s.w.Flush()
+	}
+}
+
+// Flush forces buffered events through to the underlying writer and
+// returns the first sink error, if any.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err == nil {
+		s.err = s.w.Flush()
+	}
+	return s.err
 }
 
 // Err returns the first write error, if any.
@@ -205,7 +231,7 @@ func NewFileSink(path string) (*FileSink, error) {
 // Close flushes and closes the underlying file, reporting any deferred
 // write error.
 func (s *FileSink) Close() error {
-	werr := s.Err()
+	werr := s.Flush()
 	if err := s.f.Close(); err != nil {
 		return err
 	}

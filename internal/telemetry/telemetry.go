@@ -13,12 +13,58 @@ import (
 type T struct {
 	Metrics *Registry
 	Events  Sink
+	// Tracer, when non-nil, upgrades phase timers to real span trees
+	// (see EnableTracing). nil keeps tracing off with zero cost.
+	Tracer *Tracer
 }
 
 // New returns a T with a fresh registry and the given sink (nil sink
 // keeps events disabled while metrics collect).
 func New(sink Sink) *T {
 	return &T{Metrics: NewRegistry(), Events: sink}
+}
+
+// EnableTracing attaches a tracer for the named node: subsequent
+// StartRoot/StartRemote calls mint real spans, exported as "Span"
+// events through the T's sink alongside the structured run events and
+// observed into the phase histogram on End.
+func (t *T) EnableTracing(node string) *Tracer {
+	if t == nil {
+		return nil
+	}
+	t.Tracer = NewTracer(node, t.Events, t.Metrics)
+	return t.Tracer
+}
+
+// StartRoot opens a new trace rooted at this node (nil without a
+// tracer; a nil *Span is valid and disabled).
+func (t *T) StartRoot(name string, labels ...Label) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.Tracer.StartRoot(name, labels...)
+}
+
+// StartRemote opens a span parented to a context received over the
+// wire (nil without a tracer).
+func (t *T) StartRemote(parent SpanContext, name string, labels ...Label) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.Tracer.StartRemote(parent, name, labels...)
+}
+
+// StartPhase opens a child span under parent when one is live, falling
+// back to a flat phase timer otherwise. Either way the duration lands
+// in the PhaseMetric histogram exactly once; call the returned stop
+// function to finish. The *Span is nil in the fallback (and always
+// safe to use).
+func (t *T) StartPhase(parent *Span, name string, labels ...Label) (*Span, func()) {
+	if parent != nil {
+		sp := parent.Child(name, labels...)
+		return sp, sp.End
+	}
+	return nil, t.StartSpan(name, labels...)
 }
 
 // Emit forwards e to the event sink, if any.
@@ -94,11 +140,12 @@ func FromContext(ctx context.Context) *T {
 	return t
 }
 
-// Span opens a phase timer against the telemetry carried by ctx:
+// Phase opens a phase timer against the telemetry carried by ctx:
 //
-//	defer telemetry.Span(ctx, "client.train")()
+//	defer telemetry.Phase(ctx, "client.train")()
 //
-// With no telemetry in ctx the call is a no-op.
-func Span(ctx context.Context, phase string, labels ...Label) func() {
+// With no telemetry in ctx the call is a no-op. (Formerly named Span;
+// renamed when Span became the span-tree node type.)
+func Phase(ctx context.Context, phase string, labels ...Label) func() {
 	return FromContext(ctx).StartSpan(phase, labels...)
 }

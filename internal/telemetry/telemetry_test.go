@@ -180,12 +180,12 @@ func TestSpanObservesPhaseHistogram(t *testing.T) {
 func TestSpanFromContext(t *testing.T) {
 	tel := New(nil)
 	ctx := NewContext(context.Background(), tel)
-	Span(ctx, "server.aggregate")()
+	Phase(ctx, "server.aggregate")()
 	if got := tel.Metrics.Histogram(PhaseMetric, L("phase", "server.aggregate")).Count(); got != 1 {
 		t.Fatalf("context span recorded %d observations", got)
 	}
 	// A bare context is a no-op, not a panic.
-	Span(context.Background(), "nothing")()
+	Phase(context.Background(), "nothing")()
 }
 
 func TestJSONLSink(t *testing.T) {
@@ -194,7 +194,7 @@ func TestJSONLSink(t *testing.T) {
 	s.now = func() time.Time { return time.Unix(1700000000, 0) }
 	s.Emit(RunStarted{Strategy: "FedGuard", NumClients: 16, PerRound: 8, Rounds: 2, Seed: 7})
 	s.Emit(ClientExcluded{Round: 1, ClientID: 3, Acc: 0.1, Mean: 0.5})
-	if err := s.Err(); err != nil {
+	if err := s.Flush(); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")

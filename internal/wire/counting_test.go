@@ -1,0 +1,165 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// countPipe is a duplex in-memory stream with independent read/write
+// sides, safe for concurrent use, whose Close is also safe to call from
+// several goroutines at once.
+type countPipe struct {
+	mu     sync.Mutex
+	in     bytes.Reader
+	out    bytes.Buffer
+	closed atomic.Int64
+}
+
+func (p *countPipe) Read(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.in.Read(b)
+}
+
+func (p *countPipe) Write(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.out.Write(b)
+}
+
+func (p *countPipe) Close() error {
+	p.closed.Add(1)
+	return nil
+}
+
+func TestCountingConnBasics(t *testing.T) {
+	p := &countPipe{}
+	p.in.Reset(make([]byte, 100))
+	c := NewCountingConn(p)
+	if _, err := c.Write(make([]byte, 42)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(c, make([]byte, 30)); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.BytesWritten(); got != 42 {
+		t.Fatalf("written = %d, want 42", got)
+	}
+	if got := c.BytesRead(); got != 30 {
+		t.Fatalf("read = %d, want 30", got)
+	}
+}
+
+// TestCountingConnConcurrent drives Read, Write, and the counter getters
+// from many goroutines at once and checks the totals are exact — the
+// shape of use in fednet, where the server reads a response on one
+// goroutine while telemetry samples the counters from another. Run under
+// -race this also proves the counters are data-race free.
+func TestCountingConnConcurrent(t *testing.T) {
+	const (
+		writers  = 8
+		perWrite = 64
+		writes   = 200
+	)
+	p := &countPipe{}
+	p.in.Reset(make([]byte, writers*perWrite*writes))
+	c := NewCountingConn(p)
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, perWrite)
+			for i := 0; i < writes; i++ {
+				if _, err := c.Write(buf); err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+				if _, err := c.Read(buf); err != nil {
+					t.Errorf("read: %v", err)
+					return
+				}
+				// Sampling mid-traffic must be safe (values are monotone
+				// snapshots, not necessarily the final totals).
+				_ = c.BytesRead()
+				_ = c.BytesWritten()
+			}
+		}()
+	}
+	wg.Wait()
+	want := int64(writers * perWrite * writes)
+	if got := c.BytesRead(); got != want {
+		t.Fatalf("read = %d, want %d", got, want)
+	}
+	if got := c.BytesWritten(); got != want {
+		t.Fatalf("written = %d, want %d", got, want)
+	}
+}
+
+// TestCountingConnOnCloseOnce closes the conn from many goroutines
+// concurrently with in-flight writes: the OnClose hook must fire exactly
+// once, with counts no lower than the traffic completed before the first
+// Close, and every Close must still forward to the wrapped stream.
+func TestCountingConnOnCloseOnce(t *testing.T) {
+	const closers = 8
+	p := &countPipe{}
+	c := NewCountingConn(p)
+
+	var fired atomic.Int64
+	var hookRead, hookWritten atomic.Int64
+	c.OnClose(func(read, written int64) {
+		fired.Add(1)
+		hookRead.Store(read)
+		hookWritten.Store(written)
+	})
+
+	if _, err := c.Write(make([]byte, 128)); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < closers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := c.Close(); err != nil {
+				t.Errorf("close: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := fired.Load(); got != 1 {
+		t.Fatalf("OnClose fired %d times, want exactly 1", got)
+	}
+	if got := hookWritten.Load(); got != 128 {
+		t.Fatalf("OnClose saw written=%d, want 128", got)
+	}
+	if got := hookRead.Load(); got != 0 {
+		t.Fatalf("OnClose saw read=%d, want 0", got)
+	}
+	// Every Close forwards to the wrapped stream even after the hook
+	// already fired.
+	if got := p.closed.Load(); got != closers {
+		t.Fatalf("underlying Close called %d times, want %d", got, closers)
+	}
+}
+
+// TestCountingConnNonCloserStream checks Close on a wrapper around a
+// plain ReadWriter (no Closer) still fires the hook and returns nil.
+func TestCountingConnNonCloserStream(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewCountingConn(struct{ io.ReadWriter }{&buf})
+	var fired int
+	c.OnClose(func(read, written int64) { fired++ })
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("OnClose fired %d times, want 1", fired)
+	}
+}

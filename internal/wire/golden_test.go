@@ -75,6 +75,113 @@ var goldenFrames = []struct {
 			NumDecoderParams: 2, Decoder: []byte{0x02, 0x05, 0x00}, DecoderClasses: []uint32{0, 9}},
 		hex: "38000000698eb374070300000004000000050000000101000000030000000102aa88776655443322110200000003000000020500020000000000000009000000",
 	},
+	// Trace-propagation pins (CapTrace). The trace context is a trailing
+	// 16-byte block appended after the legacy body; the untraced pins
+	// above stay byte-identical. Registration advertises the capability
+	// through the same Encodings byte as CapCodec.
+	{
+		name: "HelloWithTrace",
+		msg:  &Hello{ClientID: 7, Encodings: CapCodec | CapTrace},
+		hex:  "0600000023ea3c03010700000003",
+	},
+	{
+		name: "TrainRequestTraced",
+		msg: &TrainRequest{Round: 2, NeedDecoder: true, Global: []float32{1, -2, 0.5},
+			Trace: Trace{TraceID: 0x0123456789ABCDEF, SpanID: 0xFEDCBA9876543210}},
+		hex: "260000009ef18090030200000001030000000000803f000000c00000003fefcdab89674523011032547698badcfe",
+	},
+	{
+		name: "UpdateTraced",
+		msg: &Update{Round: 3, ClientID: 4, NumSamples: 5, Weights: []float32{1.5},
+			Decoder: []float32{-0.5, 2}, DecoderClasses: []uint32{0, 9},
+			Trace: Trace{TraceID: 0x0123456789ABCDEF, SpanID: 0xFEDCBA9876543210}},
+		hex: "3d000000bdf508b204030000000400000005000000010000000000c03f02000000000000bf00000040020000000000000009000000efcdab89674523011032547698badcfe",
+	},
+	{
+		name: "TrainRequestCTraced",
+		msg: &TrainRequestC{Round: 2, NeedDecoder: true, DecoderHash: 0xDEADBEEF01020304,
+			Encoding: EncDelta, BaseRound: 1, NumParams: 3, Payload: []byte{0x03, 0x06, 0x01, 0x02},
+			Trace: Trace{TraceID: 0x0123456789ABCDEF, SpanID: 0xFEDCBA9876543210}},
+		hex: "2f000000bbfd9a1606020000000104030201efbeadde0201000000030000000400000003060102efcdab89674523011032547698badcfe",
+	},
+	{
+		name: "UpdateCTraced",
+		msg: &UpdateC{Round: 3, ClientID: 4, NumSamples: 5, Encoding: EncCodec,
+			NumParams: 1, Weights: []byte{0x01, 0x02, 0xAA}, DecoderHash: 0x1122334455667788,
+			NumDecoderParams: 2, Decoder: []byte{0x02, 0x05, 0x00}, DecoderClasses: []uint32{0, 9},
+			Trace: Trace{TraceID: 0x0123456789ABCDEF, SpanID: 0xFEDCBA9876543210}},
+		hex: "4800000053423c9e070300000004000000050000000101000000030000000102aa88776655443322110200000003000000020500020000000000000009000000efcdab89674523011032547698badcfe",
+	},
+}
+
+// TestTraceBlockLegacySafe pins the compatibility contract of CapTrace:
+// a zero Trace adds no bytes (traced builds talking to legacy peers emit
+// exactly the golden legacy frames), and stripping the trailing 16-byte
+// block from a traced frame's body yields the legacy body bit-for-bit —
+// which is why a legacy decoder, which ignores leftover trailing bytes,
+// still decodes every field of a traced frame correctly.
+func TestTraceBlockLegacySafe(t *testing.T) {
+	tr := Trace{TraceID: 0x0123456789ABCDEF, SpanID: 0xFEDCBA9876543210}
+	pairs := []struct {
+		name           string
+		legacy, traced any
+	}{
+		{
+			name:   "TrainRequest",
+			legacy: &TrainRequest{Round: 9, Global: []float32{1, 2}},
+			traced: &TrainRequest{Round: 9, Global: []float32{1, 2}, Trace: tr},
+		},
+		{
+			name:   "Update",
+			legacy: &Update{Round: 9, ClientID: 1, NumSamples: 2, Weights: []float32{3}},
+			traced: &Update{Round: 9, ClientID: 1, NumSamples: 2, Weights: []float32{3}, Trace: tr},
+		},
+		{
+			name:   "TrainRequestC",
+			legacy: &TrainRequestC{Round: 9, Encoding: EncCodec, NumParams: 1, Payload: []byte{7}},
+			traced: &TrainRequestC{Round: 9, Encoding: EncCodec, NumParams: 1, Payload: []byte{7}, Trace: tr},
+		},
+		{
+			name:   "UpdateC",
+			legacy: &UpdateC{Round: 9, ClientID: 1, NumSamples: 2, Encoding: EncCodec, NumParams: 1, Weights: []byte{7}},
+			traced: &UpdateC{Round: 9, ClientID: 1, NumSamples: 2, Encoding: EncCodec, NumParams: 1, Weights: []byte{7}, Trace: tr},
+		},
+	}
+	for _, p := range pairs {
+		t.Run(p.name, func(t *testing.T) {
+			var lbuf, tbuf bytes.Buffer
+			if err := WriteMessage(&lbuf, p.legacy); err != nil {
+				t.Fatal(err)
+			}
+			if err := WriteMessage(&tbuf, p.traced); err != nil {
+				t.Fatal(err)
+			}
+			lb, tb := lbuf.Bytes(), tbuf.Bytes()
+			if len(tb) != len(lb)+16 {
+				t.Fatalf("traced frame is %d bytes, legacy %d; want exactly +16", len(tb), len(lb))
+			}
+			// Same payload modulo header (length + CRC differ by design).
+			if !bytes.Equal(tb[headerSize:len(tb)-16], lb[headerSize:]) {
+				t.Fatal("traced body is not legacy body + trailing block")
+			}
+			// Traced frame round-trips with its context intact.
+			got, err := ReadMessage(bytes.NewReader(tb))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !equalMessage(got, p.traced) {
+				t.Fatalf("traced round-trip: got %#v, want %#v", got, p.traced)
+			}
+			// Legacy frame decodes with a zero context.
+			got, err = ReadMessage(bytes.NewReader(lb))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !equalMessage(got, p.legacy) {
+				t.Fatalf("legacy round-trip: got %#v, want %#v", got, p.legacy)
+			}
+		})
+	}
 }
 
 func TestGoldenFrameBytes(t *testing.T) {

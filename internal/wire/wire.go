@@ -94,6 +94,26 @@ const (
 // format and negotiation degrades to raw automatically.
 const CapCodec byte = 1
 
+// CapTrace is the capability bit advertising distributed-trace context
+// propagation: when both ends set it, TrainRequest/Update frames (and
+// their compressed variants) may carry a trailing 16-byte Trace block
+// linking the client's spans to the server's round span. Negotiated
+// exactly like CapCodec — a silent peer never sees the extra bytes, and
+// because the block trails the legacy body, a legacy decoder that does
+// receive one simply ignores it.
+const CapTrace byte = 2
+
+// Trace is the compact trace context propagated across the wire: which
+// trace a frame belongs to and which remote span caused it. The zero
+// value means "no trace" and encodes to nothing.
+type Trace struct {
+	TraceID uint64
+	SpanID  uint64
+}
+
+// Valid reports whether the context carries a real span identity.
+func (t Trace) Valid() bool { return t.TraceID != 0 && t.SpanID != 0 }
+
 // Hello registers a client with the server. Encodings is the optional
 // capability bitmask (CapCodec); zero encodes exactly like the legacy
 // frame, and legacy servers ignore the trailing byte when set.
@@ -139,6 +159,9 @@ type TrainRequest struct {
 	Round       uint32
 	NeedDecoder bool
 	Global      []float32
+	// Trace, when valid, is appended as a trailing 16-byte block (only
+	// on CapTrace-negotiated connections; see CapTrace).
+	Trace Trace
 }
 
 // Update carries a client's trained submission back to the server.
@@ -149,6 +172,9 @@ type Update struct {
 	Weights        []float32
 	Decoder        []float32 // empty when not requested
 	DecoderClasses []uint32
+	// Trace identifies the client-side round span that produced this
+	// update (trailing block, CapTrace connections only).
+	Trace Trace
 }
 
 // TrainRequestC is the compressed TrainRequest: the global parameter
@@ -169,6 +195,9 @@ type TrainRequestC struct {
 	BaseRound   uint32 // EncDelta: round of the base global (0 = ψ₀)
 	NumParams   uint32 // element count of the encoded vector
 	Payload     []byte // codec blob
+	// Trace is the server-side request span (trailing block, CapTrace
+	// connections only).
+	Trace Trace
 }
 
 // UpdateC is the compressed Update. Weights travel as a codec blob,
@@ -190,6 +219,9 @@ type UpdateC struct {
 	NumDecoderParams uint32
 	Decoder          []byte // codec blob; empty with nonzero hash = cache hit
 	DecoderClasses   []uint32
+	// Trace identifies the client-side round span (trailing block,
+	// CapTrace connections only).
+	Trace Trace
 }
 
 // Shutdown ends the client's session.
@@ -214,6 +246,7 @@ func WriteMessage(w io.Writer, msg any) error {
 		body = appendU32(nil, m.Round)
 		body = append(body, boolByte(m.NeedDecoder))
 		body = appendF32s(body, m.Global)
+		body = appendTrace(body, m.Trace)
 	case *Update:
 		typ = TypeUpdate
 		body = appendU32(nil, m.Round)
@@ -222,6 +255,7 @@ func WriteMessage(w io.Writer, msg any) error {
 		body = appendF32s(body, m.Weights)
 		body = appendF32s(body, m.Decoder)
 		body = appendU32s(body, m.DecoderClasses)
+		body = appendTrace(body, m.Trace)
 	case *TrainRequestC:
 		typ = TypeTrainRequestC
 		body = appendU32(nil, m.Round)
@@ -231,6 +265,7 @@ func WriteMessage(w io.Writer, msg any) error {
 		body = appendU32(body, m.BaseRound)
 		body = appendU32(body, m.NumParams)
 		body = appendBytes(body, m.Payload)
+		body = appendTrace(body, m.Trace)
 	case *UpdateC:
 		typ = TypeUpdateC
 		body = appendU32(nil, m.Round)
@@ -243,6 +278,7 @@ func WriteMessage(w io.Writer, msg any) error {
 		body = appendU32(body, m.NumDecoderParams)
 		body = appendBytes(body, m.Decoder)
 		body = appendU32s(body, m.DecoderClasses)
+		body = appendTrace(body, m.Trace)
 	case *Shutdown:
 		typ = TypeShutdown
 	default:
@@ -301,12 +337,14 @@ func ReadMessage(r io.Reader) (any, error) {
 		m := &TrainRequest{Round: d.u32()}
 		m.NeedDecoder = d.u8() != 0
 		m.Global = d.f32s()
+		m.Trace = d.optTrace()
 		return m, d.err
 	case TypeUpdate:
 		m := &Update{Round: d.u32(), ClientID: d.u32(), NumSamples: d.u32()}
 		m.Weights = d.f32s()
 		m.Decoder = d.f32s()
 		m.DecoderClasses = d.u32s()
+		m.Trace = d.optTrace()
 		return m, d.err
 	case TypeTrainRequestC:
 		m := &TrainRequestC{Round: d.u32()}
@@ -316,6 +354,7 @@ func ReadMessage(r io.Reader) (any, error) {
 		m.BaseRound = d.u32()
 		m.NumParams = d.u32()
 		m.Payload = d.bytes()
+		m.Trace = d.optTrace()
 		return m, d.err
 	case TypeUpdateC:
 		m := &UpdateC{Round: d.u32(), ClientID: d.u32(), NumSamples: d.u32()}
@@ -326,6 +365,7 @@ func ReadMessage(r io.Reader) (any, error) {
 		m.NumDecoderParams = d.u32()
 		m.Decoder = d.bytes()
 		m.DecoderClasses = d.u32s()
+		m.Trace = d.optTrace()
 		return m, d.err
 	case TypeShutdown:
 		return &Shutdown{}, nil
@@ -447,6 +487,17 @@ func appendBytes(b []byte, vs []byte) []byte {
 	return append(b, vs...)
 }
 
+// appendTrace appends the 16-byte trailing trace-context block, or
+// nothing when the context is the zero value — keeping untraced frames
+// byte-identical to the golden legacy format.
+func appendTrace(b []byte, t Trace) []byte {
+	if !t.Valid() {
+		return b
+	}
+	b = appendU64(b, t.TraceID)
+	return appendU64(b, t.SpanID)
+}
+
 func appendF32s(b []byte, vs []float32) []byte {
 	b = appendU32(b, uint32(len(vs)))
 	off := len(b)
@@ -493,6 +544,16 @@ func (d *decoder) optByte() byte {
 		return 0
 	}
 	return d.u8()
+}
+
+// optTrace reads a trailing optional 16-byte trace-context block:
+// absent decodes as the zero Trace, which is how traced peers stay
+// byte-compatible with legacy frames (which simply end earlier).
+func (d *decoder) optTrace() Trace {
+	if d.err != nil || len(d.buf) < 16 {
+		return Trace{}
+	}
+	return Trace{TraceID: d.u64(), SpanID: d.u64()}
 }
 
 // bytes reads a u32-length-prefixed byte string, sharing the frame's
