@@ -1,12 +1,16 @@
 GO ?= go
 
-.PHONY: all build test test-short race vet ci bench bench-json bench-smoke test-chaos test-codec trace-smoke fuzz-smoke clean
+.PHONY: all build test test-short race vet ci bench bench-json bench-smoke bench-guard test-chaos test-codec trace-smoke fuzz-smoke clean
 
 # The substrate microbenchmarks tracked in BENCH_micro.json.
 MICRO_BENCH = BenchmarkMatMul128$$|BenchmarkConvForward$$|BenchmarkConvBackward$$|BenchmarkClassifierTrainEpoch$$|BenchmarkDecoderGenerate$$
 # The wire-layer microbenchmarks (raw vs codec framing and the per-round
 # byte cost), tracked in the same snapshot file.
 WIRE_BENCH = BenchmarkWireWriteUpdate$$|BenchmarkWireReadUpdate$$|BenchmarkRoundWireBytes$$
+# The codec kernels and the server's encode-once broadcast fan-out,
+# tracked in the same snapshot file.
+CODEC_BENCH = BenchmarkCodecEncode$$|BenchmarkCodecEncodeDelta$$|BenchmarkCodecHash$$
+FANOUT_BENCH = BenchmarkServerBroadcastFanout$$
 # Label for the snapshot written by bench-json.
 BENCH_LABEL ?= current
 
@@ -33,7 +37,7 @@ vet:
 # fast even when its unit tests are skipped, the fault-injection chaos
 # suite, the lossless-codec stack, the distributed-tracing smoke run,
 # and bounded fuzz passes over the wire and codec decoders.
-ci: vet race bench-smoke test-chaos test-codec trace-smoke fuzz-smoke
+ci: vet race bench-smoke bench-guard test-chaos test-codec trace-smoke fuzz-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...
@@ -43,14 +47,27 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench '$(MICRO_BENCH)' -benchmem -benchtime=1x .
 	$(GO) test -run '^$$' -bench '$(WIRE_BENCH)' -benchmem -benchtime=1x ./internal/wire/
+	$(GO) test -run '^$$' -bench '$(CODEC_BENCH)' -benchmem -benchtime=1x ./internal/codec/
+	$(GO) test -run '^$$' -bench '$(FANOUT_BENCH)' -benchmem -benchtime=1x ./internal/fednet/
 
 # bench-json measures the tracked microbenchmarks and records them as a
 # labelled snapshot in BENCH_micro.json (BENCH_LABEL=<label> to name it;
 # re-using a label replaces that snapshot).
 bench-json:
 	{ $(GO) test -run '^$$' -bench '$(MICRO_BENCH)' -benchmem -benchtime=3s . ; \
-	  $(GO) test -run '^$$' -bench '$(WIRE_BENCH)' -benchmem -benchtime=3s ./internal/wire/ ; } \
+	  $(GO) test -run '^$$' -bench '$(WIRE_BENCH)' -benchmem -benchtime=3s ./internal/wire/ ; \
+	  $(GO) test -run '^$$' -bench '$(CODEC_BENCH)' -benchmem -benchtime=3s ./internal/codec/ ; \
+	  $(GO) test -run '^$$' -bench '$(FANOUT_BENCH)' -benchmem -benchtime=20x ./internal/fednet/ ; } \
 		| $(GO) run ./cmd/benchjson -label '$(BENCH_LABEL)' -out BENCH_micro.json
+
+# bench-guard re-measures the round-pipeline critical benchmarks and
+# fails if any exceed the ceilings committed in BENCH_guard.json — the
+# regression tripwire for the pooled frame writer and codec fast paths.
+# Ceilings are loose (≈2-3× the snapshot numbers) so CI noise passes but
+# a lost fast path or reintroduced per-op allocation fails.
+bench-guard:
+	$(GO) test -run '^$$' -bench 'BenchmarkWireWriteUpdate$$' -benchmem -benchtime=50x ./internal/wire/ \
+		| $(GO) run ./cmd/benchjson -guard BENCH_guard.json
 
 # test-chaos runs the deterministic fault-injection suite — the faultnet
 # wrappers plus the fednet chaos/rejoin/quorum tests (skipped under

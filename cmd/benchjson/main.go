@@ -8,6 +8,10 @@
 // The output file holds a list of snapshots; re-running with an existing
 // label replaces that snapshot in place, so iterating on a change keeps
 // exactly one entry per label.
+//
+// With -guard <file> the tool instead checks the piped benchmark output
+// against the ceilings committed in that file (see GuardFile) and exits
+// nonzero on any regression — the `make bench-guard` CI gate.
 package main
 
 import (
@@ -47,7 +51,12 @@ func main() {
 	label := flag.String("label", "", "snapshot label (required); an existing snapshot with the same label is replaced")
 	out := flag.String("out", "BENCH_micro.json", "snapshot file to create or update")
 	date := flag.String("date", "", "optional date string recorded verbatim in the snapshot")
+	guardPath := flag.String("guard", "", "threshold file: check stdin against its ceilings instead of snapshotting; exit 1 on regression")
 	flag.Parse()
+	if *guardPath != "" {
+		runGuard(*guardPath)
+		return
+	}
 	if *label == "" {
 		fmt.Fprintln(os.Stderr, "benchjson: -label is required")
 		os.Exit(2)

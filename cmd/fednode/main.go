@@ -70,6 +70,8 @@ func main() {
 			"enable lossless wire compression (decoder dedup, delta encoding, float codec); negotiated, so both endpoints must pass it")
 		trace = flag.Bool("trace", false,
 			"record span trees and propagate trace context over the wire (CapTrace); negotiated, so both endpoints must pass it; merge the per-node -events logs with fedtrace")
+		streamAudit = flag.Bool("stream-audit", false,
+			"server: audit each update as it arrives instead of after the round barrier (bit-identical results; server-side only, no negotiation)")
 
 		minClients = flag.Int("min-clients", 0,
 			"server: round quorum; > 0 drops unresponsive clients instead of aborting (0 = strict)")
@@ -123,7 +125,7 @@ func main() {
 			Retries:         *retries,
 			RegisterTimeout: *registerTimeout,
 		}
-		if err := runServer(*listen, *preset, *scenario, *strategy, *events, *debugAddr, *compress, *trace, ft); err != nil {
+		if err := runServer(*listen, *preset, *scenario, *strategy, *events, *debugAddr, *compress, *trace, *streamAudit, ft); err != nil {
 			fatal(err)
 		}
 	default:
@@ -141,7 +143,7 @@ type faultTolerance struct {
 	RegisterTimeout time.Duration
 }
 
-func runServer(listen, preset, scenarioID, strategyName, events, debugAddr string, compress, trace bool, ft faultTolerance) error {
+func runServer(listen, preset, scenarioID, strategyName, events, debugAddr string, compress, trace, streamAudit bool, ft faultTolerance) error {
 	setup, err := experiment.NewSetup(experiment.Preset(preset))
 	if err != nil {
 		return err
@@ -197,8 +199,9 @@ func runServer(listen, preset, scenarioID, strategyName, events, debugAddr strin
 			CVAETrain:  setup.CVAETrain,
 			NumClasses: 10,
 		},
-		TestSubset: setup.TestSubset,
-		Seed:       setup.Seed,
+		TestSubset:  setup.TestSubset,
+		Seed:        setup.Seed,
+		StreamAudit: streamAudit,
 	}
 	cfg := fednet.Config{
 		Experiment: expCfg,
@@ -214,8 +217,9 @@ func runServer(listen, preset, scenarioID, strategyName, events, debugAddr strin
 		MaxRetries:         ft.Retries,
 		RegisterTimeout:    ft.RegisterTimeout,
 
-		Compress: compress,
-		Trace:    trace,
+		Compress:    compress,
+		Trace:       trace,
+		StreamAudit: streamAudit,
 	}
 	test := dataset.Generate(setup.TestSize, dataset.DefaultGenOptions(),
 		rng.New(rng.DeriveSeed(setup.Seed, "testdata", 0)))

@@ -33,6 +33,7 @@ func main() {
 		rounds    = flag.Int("rounds", 0, "override round count (0 = preset value)")
 		samples   = flag.Int("samples", 0, "override FedGuard synthetic sample count t (0 = preset value)")
 		workers   = flag.Int("workers", 0, "concurrent client trainers (0 = GOMAXPROCS)")
+		streamAud = flag.Bool("stream-audit", false, "audit each update as it lands instead of after the round barrier (bit-identical results)")
 		csv       = flag.Bool("csv", false, "emit the per-round accuracy series as CSV on stdout")
 		confusion = flag.Bool("confusion", false, "print the final model's confusion matrix on the test set")
 		save      = flag.String("save", "", "write the final global model checkpoint to this path")
@@ -116,9 +117,10 @@ func main() {
 	}
 
 	res, err := experiment.Run(setup, sc, *strategy, experiment.RunOptions{
-		ServerLR:  *serverLR,
-		Seed:      *seed,
-		Telemetry: tel,
+		ServerLR:    *serverLR,
+		Seed:        *seed,
+		Telemetry:   tel,
+		StreamAudit: *streamAud,
 		OnRound: func(rec fl.RoundRecord) {
 			fmt.Fprintf(os.Stderr, "round %3d  acc=%.4f  malicious-sampled=%d/%d  %.2fs",
 				rec.Round, rec.TestAccuracy, rec.MaliciousSampled, len(rec.Sampled), rec.Seconds)

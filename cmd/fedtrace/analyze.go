@@ -184,6 +184,12 @@ type RoundReport struct {
 	SynthesizeSeconds float64 `json:"synthesize_seconds"`
 	EvalSeconds       float64 `json:"eval_seconds"`
 
+	// Streaming-audit overlap: audit compute that ran while uploads were
+	// still in flight (hidden in the network shadow), and how many
+	// synthesis/scoring jobs it covered. Zero on barrier-mode rounds.
+	OverlapSeconds float64 `json:"overlap_seconds"`
+	OverlapJobs    int     `json:"overlap_jobs"`
+
 	// Retry amplification: server-side retries plus client-observed
 	// duplicate requests answered from cache.
 	Retries int `json:"retries"`
@@ -203,9 +209,9 @@ type RoundReport struct {
 
 // Report is the full cross-node reconstruction of one run's trace.
 type Report struct {
-	Trace  string   `json:"trace"`
-	Nodes  []string `json:"nodes"`
-	Spans  int      `json:"spans"`
+	Trace  string        `json:"trace"`
+	Nodes  []string      `json:"nodes"`
+	Spans  int           `json:"spans"`
 	Rounds []RoundReport `json:"rounds"`
 
 	// Orphans counts spans whose parent is missing from the merged input
@@ -262,6 +268,12 @@ func analyzeRound(rs *span) RoundReport {
 	}
 	for _, c := range rs.Children {
 		switch c.Name {
+		case "server.audit_stream":
+			// The streaming-audit summary span carries its overlap as
+			// labels; the span itself is ended immediately, so its own
+			// duration is not the measurement.
+			r.OverlapSeconds = float64(c.intLabel("overlap_us")) / 1e6
+			r.OverlapJobs = int(c.intLabel("jobs"))
 		case "server.request":
 			// Networked topology: round → server.request → client.round.
 			r.Clients++
@@ -366,8 +378,8 @@ func analyze(f *forest) (*Report, error) {
 func writeText(w io.Writer, rep *Report) {
 	fmt.Fprintf(w, "trace %s  nodes=%v  spans=%d  orphans=%d\n",
 		rep.Trace, rep.Nodes, rep.Spans, rep.Orphans)
-	fmt.Fprintf(w, "%5s %8s %7s %9s %9s %9s %7s %7s %10s  %s\n",
-		"round", "seconds", "clients", "slowest", "aggregate", "audit", "eval", "retry", "bytes r/w", "notes")
+	fmt.Fprintf(w, "%5s %8s %7s %9s %9s %9s %8s %7s %7s %10s  %s\n",
+		"round", "seconds", "clients", "slowest", "aggregate", "audit", "overlap", "eval", "retry", "bytes r/w", "notes")
 	for _, r := range rep.Rounds {
 		notes := ""
 		if !r.Complete {
@@ -380,9 +392,9 @@ func writeText(w io.Writer, rep *Report) {
 		if r.SlowestClient != "" {
 			slow = fmt.Sprintf("%.2fs#%s", r.SlowestSeconds, r.SlowestClient)
 		}
-		fmt.Fprintf(w, "%5d %8.2f %3d/%-3d %9s %9.3f %9.3f %7.3f %3d+%-3d %5d/%-5d %s\n",
+		fmt.Fprintf(w, "%5d %8.2f %3d/%-3d %9s %9.3f %9.3f %8.3f %7.3f %3d+%-3d %5d/%-5d %s\n",
 			r.Round, r.Seconds, r.OK, r.Clients, slow,
-			r.AggregateSeconds, r.AuditSeconds, r.EvalSeconds,
+			r.AggregateSeconds, r.AuditSeconds, r.OverlapSeconds, r.EvalSeconds,
 			r.Retries, r.Resends, r.BytesRead, r.BytesWritten, notes)
 	}
 	for _, rj := range rep.Rejoins {

@@ -15,6 +15,7 @@ import (
 	"fedguard/internal/classifier"
 	"fedguard/internal/cvae"
 	"fedguard/internal/dataset"
+	"fedguard/internal/defense"
 	"fedguard/internal/faultnet"
 	"fedguard/internal/fednet"
 	"fedguard/internal/fl"
@@ -120,6 +121,8 @@ func syntheticRun(t *testing.T) []*span {
 	add(synth("13", "10", "server.aggregate", "server", 3_100_000_000, 500_000_000, nil))
 	add(synth("14", "13", "server.audit", "server", 3_200_000_000, 300_000_000, nil))
 	add(synth("15", "10", "server.eval", "server", 3_700_000_000, 100_000_000, nil))
+	add(synth("16", "10", "server.audit_stream", "server", 3_050_000_000, 0, map[string]string{
+		"overlap_us": "250000", "jobs": "12"}))
 	add(synth("20", "01", "round", "server", 4_000_000_000, 2_000_000_000, map[string]string{"round": "2"}))
 	add(synth("21", "20", "server.request", "server", 4_000_000_000, 1_500_000_000, map[string]string{
 		"client": "1", "encoding": "raw", "outcome": "ok", "retries": "0",
@@ -161,12 +164,18 @@ func TestAnalyzeSyntheticNetworkedRun(t *testing.T) {
 	if r1.AuditSeconds != 0.3 || r1.AggregateSeconds != 0.5 || r1.EvalSeconds != 0.1 {
 		t.Fatalf("round 1 phase split: %+v", r1)
 	}
+	if r1.OverlapSeconds != 0.25 || r1.OverlapJobs != 12 {
+		t.Fatalf("round 1 streaming overlap: %+v", r1)
+	}
 	if !r1.Complete {
 		t.Fatal("round 1 should be complete (the only delivered request has a client span)")
 	}
 	r2 := rep.Rounds[1]
 	if r2.Resends != 1 {
 		t.Fatalf("round 2 resends=%d, want 1", r2.Resends)
+	}
+	if r2.OverlapSeconds != 0 || r2.OverlapJobs != 0 {
+		t.Fatalf("round 2 has no audit_stream span, overlap must be zero: %+v", r2)
 	}
 	if len(rep.Rejoins) != 1 || rep.Rejoins[0].Client != "1" {
 		t.Fatalf("rejoins: %+v", rep.Rejoins)
@@ -241,7 +250,7 @@ func TestWriteTextRendersDropsAndTotals(t *testing.T) {
 	var buf bytes.Buffer
 	writeText(&buf, rep)
 	out := buf.String()
-	for _, want := range []string{"drop(1:timeout)", "rejoin: client 1", "retries=2"} {
+	for _, want := range []string{"drop(1:timeout)", "rejoin: client 1", "retries=2", "overlap", "0.250"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("text report missing %q:\n%s", want, out)
 		}
@@ -426,5 +435,103 @@ func TestTraceSmoke(t *testing.T) {
 	}
 	if back.Trace != rep.Trace || len(back.Rounds) != len(rep.Rounds) {
 		t.Fatal("JSON report did not round-trip")
+	}
+}
+
+// TestTraceStreamOverlap is the streaming-pipeline half of the tracing
+// gate: a traced FedGuard federation with StreamAudit on must surface
+// nonzero audit/upload overlap in the reconstructed per-round report —
+// the proof that decoder synthesis and scoring ran inside the network
+// shadow rather than after the barrier.
+func TestTraceStreamOverlap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second traced federation with CVAE training")
+	}
+	cfg := fednet.Config{
+		Experiment: fl.FederationConfig{
+			NumClients: 4,
+			PerRound:   4,
+			Rounds:     2,
+			Alpha:      10,
+			ServerLR:   1,
+			Client: fl.ClientConfig{
+				Arch:       classifier.Tiny(),
+				Train:      classifier.TrainConfig{Epochs: 1, BatchSize: 16, LR: 0.1, Momentum: 0.9},
+				CVAE:       cvae.Config{Input: 784, Hidden: 16, Latent: 2, Classes: 10},
+				CVAETrain:  cvae.TrainConfig{Epochs: 1, BatchSize: 16, LR: 1e-3},
+				NumClasses: 10,
+			},
+			TestSubset:  40,
+			Seed:        99,
+			StreamAudit: true,
+		},
+		ArchName:    "tiny",
+		DataSeed:    1234,
+		TrainSize:   150,
+		StreamAudit: true,
+		Trace:       true,
+	}
+	dir := t.TempDir()
+	serverLog := filepath.Join(dir, "server.jsonl")
+	sink, err := telemetry.NewFileSink(serverLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Telemetry = telemetry.New(sink)
+	cfg.Telemetry.EnableTracing("server")
+
+	test := dataset.Generate(40, dataset.DefaultGenOptions(), rng.New(5))
+	guard := defense.NewFedGuard(classifier.Tiny(),
+		cvae.Config{Input: 784, Hidden: 16, Latent: 2, Classes: 10})
+	srv, err := fednet.NewServer(cfg, test, guard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var wg sync.WaitGroup
+	for id := 0; id < cfg.Experiment.NumClients; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				return
+			}
+			defer c.Close()
+			fednet.ServeClientOpts(c, id, fednet.ClientOptions{})
+		}(id)
+	}
+	if _, err := srv.Run(ln, nil); err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	wg.Wait()
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	spans, err := loadFiles([]string{serverLog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := analyze(buildForest(spans))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rounds) != cfg.Experiment.Rounds {
+		t.Fatalf("reconstructed %d rounds, want %d", len(rep.Rounds), cfg.Experiment.Rounds)
+	}
+	var jobs int
+	var overlap float64
+	for _, r := range rep.Rounds {
+		jobs += r.OverlapJobs
+		overlap += r.OverlapSeconds
+	}
+	if jobs == 0 || overlap <= 0 {
+		t.Fatalf("streaming run shows no audit/upload overlap (jobs=%d, overlap=%vs):\n%+v",
+			jobs, overlap, rep.Rounds)
 	}
 }

@@ -168,6 +168,16 @@ func EvaluateTensor(model *nn.Sequential, x *tensor.Tensor, labels []int) float6
 	return loss.Accuracy(logits, labels)
 }
 
+// CountCorrectTensor returns the number of argmax-correct predictions on
+// an explicit tensor batch. FedGuard's streaming audit scores each
+// decoder's synthetic block separately and sums the integer counts; the
+// forward pass is per-sample (rows are independent), so the sum equals
+// EvaluateTensor's count on the concatenated set exactly.
+func CountCorrectTensor(model *nn.Sequential, x *tensor.Tensor, labels []int) int {
+	logits := model.Forward(x, false)
+	return loss.CountCorrect(logits, labels)
+}
+
 // ByName resolves an architecture by its registry name ("paper", "small",
 // "tiny"). The networked federation ships architectures by name, so both
 // endpoints must agree on this registry.

@@ -1,0 +1,83 @@
+package codec
+
+import (
+	"testing"
+
+	"fedguard/internal/rng"
+)
+
+// benchDeltaVectors models the steady-state broadcast: consecutive
+// global models whose XOR is zero-heavy.
+func benchDeltaVectors(n int) (cur, base []float32) {
+	r := rng.New(42)
+	base = make([]float32, n)
+	cur = make([]float32, n)
+	r.FillNormal(base, 0, 0.1)
+	copy(cur, base)
+	step := make([]float32, n)
+	r.FillNormal(step, 0, 0.001)
+	for i := range cur {
+		cur[i] += step[i]
+	}
+	return
+}
+
+func BenchmarkCodecEncode(b *testing.B) {
+	for _, n := range []int{8_192, 65_536} {
+		vals := make([]float32, n)
+		rng.New(7).FillNormal(vals, 0, 0.1)
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.SetBytes(int64(4 * n))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Encode(vals)
+			}
+		})
+	}
+}
+
+func BenchmarkCodecEncodeDelta(b *testing.B) {
+	for _, n := range []int{8_192, 65_536} {
+		cur, base := benchDeltaVectors(n)
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.SetBytes(int64(4 * n))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := EncodeDelta(cur, base); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCodecHash(b *testing.B) {
+	vals := make([]float32, 65_536)
+	rng.New(7).FillNormal(vals, 0, 0.1)
+	b.SetBytes(int64(4 * len(vals)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Hash(vals)
+	}
+}
+
+func sizeName(n int) string {
+	if n >= 1024 && n%1024 == 0 {
+		return itoa(n/1024) + "k"
+	}
+	return itoa(n)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

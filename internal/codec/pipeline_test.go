@@ -1,0 +1,173 @@
+package codec
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"fedguard/internal/rng"
+	"fedguard/internal/tensor"
+)
+
+// serialEncode is the original single-goroutine plane encoder, kept in
+// the tests as the reference the pooled/parallel path must match byte
+// for byte.
+func serialEncode(vals []float32) []byte {
+	dst := appendUvarintRef(nil, uint64(len(vals)))
+	if len(vals) == 0 {
+		return dst
+	}
+	plane := make([]byte, len(vals))
+	for p := 0; p < 4; p++ {
+		shift := uint(8 * p)
+		for i, v := range vals {
+			plane[i] = byte(bits32(v) >> shift)
+		}
+		dst = refAppendPlane(dst, plane)
+	}
+	return dst
+}
+
+// refAppendPlane is the original bytewise RLE scan — maximal run at
+// each position, repeat token when it reaches minRun, literals
+// otherwise — sharing no scan code with the production encoder.
+func refAppendPlane(dst, plane []byte) []byte {
+	litStart := 0
+	i := 0
+	for i < len(plane) {
+		j := i + 1
+		for j < len(plane) && plane[j] == plane[i] {
+			j++
+		}
+		if j-i >= minRun {
+			if litStart < i {
+				dst = appendUvarintRef(dst, uint64(i-litStart)<<1)
+				dst = append(dst, plane[litStart:i]...)
+			}
+			dst = appendUvarintRef(dst, uint64(j-i)<<1|1)
+			dst = append(dst, plane[i])
+			litStart = j
+		}
+		i = j
+	}
+	if litStart < len(plane) {
+		dst = appendUvarintRef(dst, uint64(len(plane)-litStart)<<1)
+		dst = append(dst, plane[litStart:]...)
+	}
+	return dst
+}
+
+func TestParallelEncodeMatchesSerial(t *testing.T) {
+	prev := tensor.Workers()
+	defer tensor.SetWorkers(prev)
+
+	r := rng.New(7)
+	sizes := []int{0, 1, 3, 17, parallelElems - 1, parallelElems, parallelElems + 1, 3 * parallelElems, 65_536}
+	for _, n := range sizes {
+		vals := make([]float32, n)
+		r.FillNormal(vals, 0, 0.1)
+		// Sprinkle runs so the RLE fast path is exercised.
+		for i := 0; i+64 < n; i += 97 {
+			for k := 0; k < 48; k++ {
+				vals[i+k] = vals[i]
+			}
+		}
+		want := serialEncode(vals)
+		for _, w := range []int{1, 2, 4, 8} {
+			tensor.SetWorkers(w)
+			got := Encode(vals)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("n=%d workers=%d: encoding differs from serial reference", n, w)
+			}
+		}
+	}
+}
+
+func TestAppendEncodeDelta(t *testing.T) {
+	r := rng.New(11)
+	cur := make([]float32, 9_000)
+	base := make([]float32, 9_000)
+	r.FillNormal(cur, 0, 0.1)
+	copy(base, cur)
+	for i := 0; i < len(base); i += 13 {
+		base[i] += 0.001
+	}
+
+	// The fused XOR fill must match the materialized-delta reference.
+	delta := make([]float32, len(cur))
+	XORInto(delta, cur, base)
+	want := Encode(delta)
+	got, err := EncodeDelta(cur, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("fused delta encoding differs from XOR-then-encode")
+	}
+
+	prefix := []byte{0xde, 0xad}
+	appended, err := AppendEncodeDelta(append([]byte(nil), prefix...), cur, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(appended[:2], prefix) || !bytes.Equal(appended[2:], want) {
+		t.Fatal("AppendEncodeDelta did not append the delta after the prefix")
+	}
+
+	back, err := DecodeDelta(got, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bitsEqual(back, cur) {
+		t.Fatal("delta round trip lost bits")
+	}
+
+	if _, err := AppendEncodeDelta(nil, cur, base[:10]); err == nil {
+		t.Fatal("length mismatch not rejected")
+	}
+}
+
+// TestEncodeAllocs pins the steady-state allocation cost of the encode
+// path: one allocation for the returned blob, nothing else.
+func TestEncodeAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation adds allocations")
+	}
+	r := rng.New(3)
+	vals := make([]float32, 65_536)
+	base := make([]float32, 65_536)
+	r.FillNormal(vals, 0, 0.1)
+	r.FillNormal(base, 0, 0.1)
+	Encode(vals) // warm the scratch pool
+
+	allocs := testing.AllocsPerRun(20, func() { Encode(vals) })
+	if allocs > 1 {
+		t.Fatalf("Encode allocates %.1f times per call, want <= 1", allocs)
+	}
+	allocs = testing.AllocsPerRun(20, func() {
+		if _, err := EncodeDelta(vals, base); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("EncodeDelta allocates %.1f times per call, want <= 1", allocs)
+	}
+	allocs = testing.AllocsPerRun(20, func() { Hash(vals) })
+	if allocs != 0 {
+		t.Fatalf("Hash allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+// appendUvarintRef mirrors binary.AppendUvarint without importing it
+// into the reference encoder, so the reference stays self-contained.
+func appendUvarintRef(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+func bits32(v float32) uint32 {
+	return math.Float32bits(v)
+}

@@ -1,0 +1,27 @@
+//go:build amd64 && !purego
+
+package codec
+
+// hasAVX2 reports whether the CPU and OS support AVX2 (CPUID feature
+// bits plus XGETBV confirmation that the OS preserves YMM state).
+func hasAVX2() bool
+
+// fillPlanes4 transposes n float32s (n a multiple of 32) into four byte
+// planes: plane k byte i = byte k of src[i]'s little-endian bit
+// pattern, XORed against base[i] first when base is non-nil. Each plane
+// pointer must have n writable bytes.
+//
+//go:noescape
+func fillPlanes4(src, base *float32, n int, p0, p1, p2, p3 *byte)
+
+// nextRun4AVX2 scans p[i:n] for the first index starting a run of four
+// equal bytes. It returns either that index or, once fewer than 33
+// bytes remain, a resume point from which the scalar scanner continues;
+// callers treat the result as "resume here" in both cases — a hit is
+// rediscovered immediately by the scalar pass.
+//
+//go:noescape
+func nextRun4AVX2(p *byte, n, i int) int
+
+// useAVX2 gates the vector plane kernels; resolved once at startup.
+var useAVX2 = hasAVX2()

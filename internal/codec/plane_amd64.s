@@ -1,0 +1,166 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func hasAVX2() bool
+//
+// CPUID.1:ECX bits 27 (OSXSAVE) and 28 (AVX), XGETBV confirmation that
+// the OS context-switches XMM+YMM state (XCR0 bits 1 and 2), then
+// CPUID.7.0:EBX bit 5 (AVX2). Mirrors the tensor kernels' gate.
+TEXT ·hasAVX2(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	ANDL $0x18000000, CX
+	CMPL CX, $0x18000000
+	JNE  noavx2
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  noavx2
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	ANDL $0x20, BX
+	JZ   noavx2
+	MOVB $1, ret+0(FP)
+	RET
+
+noavx2:
+	MOVB $0, ret+0(FP)
+	RET
+
+// Per-lane shuffle that groups byte k of each dword: a 16-byte lane of
+// four little-endian float32s becomes [p0 p0 p0 p0  p1 p1 p1 p1
+// p2 p2 p2 p2  p3 p3 p3 p3].
+DATA shufplanes<>+0(SB)/8, $0x0d0905010c080400
+DATA shufplanes<>+8(SB)/8, $0x0f0b07030e0a0602
+DATA shufplanes<>+16(SB)/8, $0x0d0905010c080400
+DATA shufplanes<>+24(SB)/8, $0x0f0b07030e0a0602
+GLOBL shufplanes<>(SB), RODATA, $32
+
+// Dword permutation [0 4 1 5 2 6 3 7] that restores source order after
+// the unpack network interleaves the two 128-bit lanes.
+DATA permplanes<>+0(SB)/4, $0
+DATA permplanes<>+4(SB)/4, $4
+DATA permplanes<>+8(SB)/4, $1
+DATA permplanes<>+12(SB)/4, $5
+DATA permplanes<>+16(SB)/4, $2
+DATA permplanes<>+20(SB)/4, $6
+DATA permplanes<>+24(SB)/4, $3
+DATA permplanes<>+28(SB)/4, $7
+GLOBL permplanes<>(SB), RODATA, $32
+
+// func fillPlanes4(src, base *float32, n int, p0, p1, p2, p3 *byte)
+//
+// Transposes n float32s (n a multiple of 32; caller handles the tail)
+// into four byte planes: plane k byte i = byte k of the little-endian
+// bit pattern of src[i], XORed against base[i] first when base is
+// non-nil. 32 floats per pass: an in-lane VPSHUFB groups plane bytes,
+// a dword/qword unpack network gathers each plane into one register,
+// and a VPERMD restores source order before the four 32-byte stores.
+//
+// Register use:
+//	SI src   DX base (0 = plain)   CX 32-float block count
+//	R8-R11 p0-p3 cursors   Y0-Y3 data   Y8-Y11 unpack temps
+//	Y6 perm indices   Y7 shuffle mask
+TEXT ·fillPlanes4(SB), NOSPLIT, $0-56
+	MOVQ src+0(FP), SI
+	MOVQ base+8(FP), DX
+	MOVQ n+16(FP), CX
+	MOVQ p0+24(FP), R8
+	MOVQ p1+32(FP), R9
+	MOVQ p2+40(FP), R10
+	MOVQ p3+48(FP), R11
+	VMOVDQU shufplanes<>(SB), Y7
+	VMOVDQU permplanes<>(SB), Y6
+	SHRQ $5, CX
+	JZ   done
+
+block:
+	VMOVDQU (SI), Y0
+	VMOVDQU 32(SI), Y1
+	VMOVDQU 64(SI), Y2
+	VMOVDQU 96(SI), Y3
+	TESTQ   DX, DX
+	JZ      transpose
+	VPXOR   (DX), Y0, Y0
+	VPXOR   32(DX), Y1, Y1
+	VPXOR   64(DX), Y2, Y2
+	VPXOR   96(DX), Y3, Y3
+	ADDQ    $128, DX
+
+transpose:
+	VPSHUFB Y7, Y0, Y0
+	VPSHUFB Y7, Y1, Y1
+	VPSHUFB Y7, Y2, Y2
+	VPSHUFB Y7, Y3, Y3
+	VPUNPCKLDQ  Y1, Y0, Y8
+	VPUNPCKHDQ  Y1, Y0, Y9
+	VPUNPCKLDQ  Y3, Y2, Y10
+	VPUNPCKHDQ  Y3, Y2, Y11
+	VPUNPCKLQDQ Y10, Y8, Y0
+	VPUNPCKHQDQ Y10, Y8, Y1
+	VPUNPCKLQDQ Y11, Y9, Y2
+	VPUNPCKHQDQ Y11, Y9, Y3
+	VPERMD  Y0, Y6, Y0
+	VPERMD  Y1, Y6, Y1
+	VPERMD  Y2, Y6, Y2
+	VPERMD  Y3, Y6, Y3
+	VMOVDQU Y0, (R8)
+	VMOVDQU Y1, (R9)
+	VMOVDQU Y2, (R10)
+	VMOVDQU Y3, (R11)
+	ADDQ $128, SI
+	ADDQ $32, R8
+	ADDQ $32, R9
+	ADDQ $32, R10
+	ADDQ $32, R11
+	DECQ CX
+	JNZ  block
+
+done:
+	VZEROUPPER
+	RET
+
+// func nextRun4AVX2(p *byte, n, i int) int
+//
+// Scans p[i:n] for the first index starting a run of four equal bytes.
+// Per pass: compare 32 bytes against themselves shifted by one; bit j
+// of the mask says p[k+j] == p[k+j+1], so m & m>>1 & m>>2 marks run-of-
+// four starts (valid for j <= 29, hence the 30-position advance).
+// Returns the hit index, or — once fewer than 33 bytes remain — the
+// resume point for the caller's scalar scanner; a hit in the final
+// window is simply rediscovered by that scanner.
+TEXT ·nextRun4AVX2(SB), NOSPLIT, $0-32
+	MOVQ p+0(FP), SI
+	MOVQ n+8(FP), CX
+	MOVQ i+16(FP), AX
+	SUBQ $33, CX
+
+scan:
+	CMPQ AX, CX
+	JGT  out
+	VMOVDQU  (SI)(AX*1), Y0
+	VMOVDQU  1(SI)(AX*1), Y1
+	VPCMPEQB Y1, Y0, Y2
+	VPMOVMSKB Y2, BX
+	MOVL BX, DX
+	SHRL $1, DX
+	ANDL DX, BX
+	SHRL $1, DX
+	ANDL DX, BX
+	ANDL $0x3FFFFFFF, BX
+	JNZ  hit
+	ADDQ $30, AX
+	JMP  scan
+
+hit:
+	BSFL BX, BX
+	ADDQ BX, AX
+
+out:
+	VZEROUPPER
+	MOVQ AX, ret+24(FP)
+	RET

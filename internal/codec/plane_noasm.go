@@ -1,0 +1,16 @@
+//go:build !amd64 || purego
+
+package codec
+
+const useAVX2 = false
+
+// Stubs referenced behind the useAVX2 gate; never reached on this
+// build.
+
+func fillPlanes4(src, base *float32, n int, p0, p1, p2, p3 *byte) {
+	panic("codec: fillPlanes4 without AVX2")
+}
+
+func nextRun4AVX2(p *byte, n, i int) int {
+	panic("codec: nextRun4AVX2 without AVX2")
+}

@@ -104,12 +104,22 @@ func (g *FedGuard) Aggregate(ctx *fl.RoundContext) ([]float32, error) {
 	if err := g.auditAll(updates, x, labels, accs); err != nil {
 		return nil, err
 	}
+	stopAudit()
+	return g.finalizeScores(ctx, accs)
+}
+
+// finalizeScores applies Alg. 1 lines 6–7 to the per-update audit
+// accuracies: the mean threshold, filtering with detection bookkeeping,
+// and the inner aggregation. Both the batch path (Aggregate) and the
+// streaming path (AuditStream.Finalize) funnel through here, which is
+// part of what keeps them byte-identical.
+func (g *FedGuard) finalizeScores(ctx *fl.RoundContext, accs []float64) ([]float32, error) {
+	updates := ctx.Updates
 	var mean float64
 	for _, acc := range accs {
 		mean += acc
 	}
 	mean /= float64(len(updates)) // line 6
-	stopAudit()
 
 	// filter(ψ, ACC_j >= mean) (line 7).
 	if g.excludedCount == nil {

@@ -1,0 +1,217 @@
+package defense
+
+import (
+	"testing"
+
+	"fedguard/internal/classifier"
+	"fedguard/internal/cvae"
+	"fedguard/internal/fl"
+	"fedguard/internal/rng"
+)
+
+func streamGuard(ccfg cvae.Config, workers int) *FedGuard {
+	g := NewFedGuard(classifier.Tiny(), ccfg)
+	g.Samples = 40
+	g.AuditWorkers = workers
+	return g
+}
+
+func batchRun(t *testing.T, g *FedGuard, updates []fl.Update, seed uint64) ([]float32, map[string]float64) {
+	t.Helper()
+	ctx := ctxWith(updates, seed)
+	out, err := g.Aggregate(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, ctx.Report
+}
+
+func requireSame(t *testing.T, label string, got, want []float32, gotR, wantR map[string]float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d weights, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: weight %d differs: %v vs %v", label, i, got[i], want[i])
+		}
+	}
+	for k, v := range wantR {
+		if gotR[k] != v {
+			t.Fatalf("%s: report[%q] = %v, want %v", label, k, gotR[k], v)
+		}
+	}
+}
+
+// TestAuditStreamMatchesBatch pins the streaming path's determinism
+// contract: for any arrival order, worker count, and decoder subsetting,
+// Submit/Finalize must produce byte-identical weights and reports to the
+// barrier-then-Aggregate path.
+func TestAuditStreamMatchesBatch(t *testing.T) {
+	updates, ccfg := auditDeterminismUpdates(t)
+	const seed = 41
+
+	for _, tc := range []struct {
+		name        string
+		workers     int
+		maxDecoders int
+		order       []int
+	}{
+		{name: "serial-inorder", workers: 1, order: []int{0, 1, 2, 3, 4, 5}},
+		{name: "serial-reversed", workers: 1, order: []int{5, 4, 3, 2, 1, 0}},
+		{name: "parallel-shuffled", workers: 4, order: []int{3, 0, 5, 1, 4, 2}},
+		{name: "gomaxprocs-shuffled", workers: 0, order: []int{2, 5, 0, 4, 1, 3}},
+		{name: "maxdecoders", workers: 3, maxDecoders: 3, order: []int{4, 1, 5, 0, 2, 3}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			gb := streamGuard(ccfg, tc.workers)
+			gb.MaxDecoders = tc.maxDecoders
+			want, wantR := batchRun(t, gb, updates, seed)
+
+			gs := streamGuard(ccfg, tc.workers)
+			gs.MaxDecoders = tc.maxDecoders
+			ctx := ctxWith(nil, seed)
+			stream := gs.BeginRound(ctx, len(updates))
+			if stream == nil {
+				t.Fatal("BeginRound refused a streamable round")
+			}
+			for _, slot := range tc.order {
+				stream.Submit(slot, updates[slot])
+			}
+			if busy, jobs := stream.Overlap(); jobs > 0 && busy <= 0 {
+				t.Fatalf("%d jobs done but zero busy time", jobs)
+			}
+			ctx.Updates = updates
+			got, err := stream.Finalize(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSame(t, tc.name, got, want, ctx.Report, wantR)
+		})
+	}
+}
+
+// TestAuditStreamConcurrentSubmit drives Submit from one goroutine per
+// client — the shape the networked server uses — and checks the result
+// against the batch path. Run under -race this also pins the stream's
+// synchronization.
+func TestAuditStreamConcurrentSubmit(t *testing.T) {
+	updates, ccfg := auditDeterminismUpdates(t)
+	const seed = 43
+	want, wantR := batchRun(t, streamGuard(ccfg, 2), updates, seed)
+
+	g := streamGuard(ccfg, 2)
+	ctx := ctxWith(nil, seed)
+	stream := g.BeginRound(ctx, len(updates))
+	done := make(chan struct{})
+	for slot := range updates {
+		go func(slot int) {
+			stream.Submit(slot, updates[slot])
+			done <- struct{}{}
+		}(slot)
+	}
+	for range updates {
+		<-done
+	}
+	ctx.Updates = updates
+	got, err := stream.Finalize(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSame(t, "concurrent", got, want, ctx.Report, wantR)
+}
+
+// TestAuditStreamFallback covers the degraded paths: a round that loses
+// a client mid-stream, or whose final update order disagrees with the
+// streamed slots, must fall back to the batch computation on the actual
+// updates — same bytes as never having streamed.
+func TestAuditStreamFallback(t *testing.T) {
+	updates, ccfg := auditDeterminismUpdates(t)
+	const seed = 47
+
+	t.Run("dropout", func(t *testing.T) {
+		// Client in slot 2 never arrives; the round closes with 5 updates.
+		survivors := append(append([]fl.Update(nil), updates[:2]...), updates[3:]...)
+		want, wantR := batchRun(t, streamGuard(ccfg, 2), survivors, seed)
+
+		g := streamGuard(ccfg, 2)
+		ctx := ctxWith(nil, seed)
+		stream := g.BeginRound(ctx, len(updates))
+		for _, slot := range []int{0, 1, 3, 4, 5} {
+			stream.Submit(slot, updates[slot])
+		}
+		ctx.Updates = survivors
+		got, err := stream.Finalize(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSame(t, "dropout", got, want, ctx.Report, wantR)
+	})
+
+	t.Run("slot-mismatch", func(t *testing.T) {
+		reordered := append([]fl.Update(nil), updates...)
+		reordered[0], reordered[1] = reordered[1], reordered[0]
+		want, wantR := batchRun(t, streamGuard(ccfg, 1), reordered, seed)
+
+		g := streamGuard(ccfg, 1)
+		ctx := ctxWith(nil, seed)
+		stream := g.BeginRound(ctx, len(updates))
+		for slot := range updates {
+			stream.Submit(slot, updates[slot])
+		}
+		ctx.Updates = reordered
+		got, err := stream.Finalize(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSame(t, "slot-mismatch", got, want, ctx.Report, wantR)
+	})
+
+	t.Run("abort-then-batch", func(t *testing.T) {
+		want, wantR := batchRun(t, streamGuard(ccfg, 2), updates, seed)
+		g := streamGuard(ccfg, 2)
+		ctx := ctxWith(nil, seed)
+		stream := g.BeginRound(ctx, len(updates))
+		stream.Submit(0, updates[0])
+		stream.Abort()
+		// The strategy must remain usable for the round's batch retry.
+		ctx.Updates = updates
+		got, err := g.Aggregate(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSame(t, "abort", got, want, ctx.Report, wantR)
+	})
+}
+
+// TestAuditStreamUnsupported pins when BeginRound must refuse: §VI-B
+// class-routed synthesis (needs post-barrier DecoderClasses) and empty
+// rounds.
+func TestAuditStreamUnsupported(t *testing.T) {
+	_, _, ccfg := buildFixture(t, rng.New(40))
+	g := streamGuard(ccfg, 1)
+	g.UseDecoderClasses = true
+	if s := g.BeginRound(ctxWith(nil, 1), 4); s != nil {
+		t.Fatal("UseDecoderClasses rounds must not stream")
+	}
+	g2 := streamGuard(ccfg, 1)
+	if s := g2.BeginRound(ctxWith(nil, 1), 0); s != nil {
+		t.Fatal("empty rounds must not stream")
+	}
+}
+
+// TestAuditStreamDoesNotAdvanceRNG pins the fallback precondition:
+// BeginRound speculates on a clone, leaving ctx.RNG's stream untouched.
+func TestAuditStreamDoesNotAdvanceRNG(t *testing.T) {
+	updates, ccfg := auditDeterminismUpdates(t)
+	g := streamGuard(ccfg, 1)
+	ctx := ctxWith(nil, 53)
+	ref := ctx.RNG.Clone()
+	stream := g.BeginRound(ctx, len(updates))
+	stream.Abort()
+	for i := 0; i < 16; i++ {
+		if ctx.RNG.Float64() != ref.Float64() {
+			t.Fatalf("draw %d diverged: BeginRound advanced the round RNG", i)
+		}
+	}
+}

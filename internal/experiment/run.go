@@ -39,6 +39,11 @@ type RunOptions struct {
 	// through the registry — for runs that need a specially configured
 	// strategy instance (the name still labels the result).
 	Strategy fl.Strategy
+	// StreamAudit enables the streaming round pipeline: strategies that
+	// implement fl.StreamingStrategy audit each update as it lands
+	// instead of waiting for the round barrier. Bit-identical results
+	// either way; this only reorders the server's compute.
+	StreamAudit bool
 }
 
 // Run executes one (setup, scenario, strategy) cell and returns its
@@ -83,10 +88,11 @@ func Run(setup Setup, sc Scenario, strategyName string, opts RunOptions) (*Resul
 			CVAETrain:  setup.CVAETrain,
 			NumClasses: 10,
 		},
-		Workers:    setup.Workers,
-		TestSubset: setup.TestSubset,
-		Seed:       seed,
-		Telemetry:  tel,
+		Workers:     setup.Workers,
+		TestSubset:  setup.TestSubset,
+		Seed:        seed,
+		Telemetry:   tel,
+		StreamAudit: opts.StreamAudit,
 	}
 	if sc.MaliciousFraction > 0 {
 		cfg.Attack = att

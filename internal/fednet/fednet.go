@@ -117,6 +117,17 @@ type Config struct {
 	// (telemetry.T.EnableTracing); Trace alone just negotiates the
 	// capability.
 	Trace bool
+
+	// StreamAudit overlaps the strategy's per-update audit with the
+	// round's upload phase when the strategy implements
+	// fl.StreamingStrategy (FedGuard): each client's update is handed to
+	// the round's stream the moment it is decoded, so decoder synthesis
+	// and scoring hide in the network shadow instead of running serially
+	// after the quorum barrier. Results are byte-identical to the barrier
+	// path — on drop-outs or any stream inconsistency the round falls
+	// back to the batch computation internally. false keeps the strict
+	// barrier ordering.
+	StreamAudit bool
 }
 
 // tolerant reports whether graceful degradation is enabled.
@@ -170,6 +181,16 @@ type Server struct {
 	decoders    map[int]*decoderCache // guarded by mu
 	decoderSize int
 
+	// Encode-once broadcast sharing (guarded by mu): one encoded delta
+	// per (round, baseRound) pair, shared by every codec connection
+	// holding the same base and refcounted so payload buffers recycle
+	// through bcastBufPool. In steady state all connections share the
+	// round-(r−1) base, so each round performs one delta encode however
+	// many clients it fans out to.
+	bcastRound   uint32
+	bcast        map[uint32]*bcastEntry
+	bcastEncodes atomic.Int64 // actual encodes performed (tests, benches)
+
 	// runSpan is the root of the run's trace (nil when tracing is off).
 	// Assigned once in Run before the rejoin accept loop starts, so that
 	// goroutine can parent rejoin spans onto it without synchronization.
@@ -181,6 +202,17 @@ type decoderCache struct {
 	hash   uint64
 	params []float32
 }
+
+// bcastEntry is one shared encoded broadcast payload. refs counts the
+// connections whose cached round request references payload; when it
+// drops to zero the buffer returns to bcastBufPool.
+type bcastEntry struct {
+	payload []byte
+	refs    int
+}
+
+// bcastBufPool recycles broadcast payload buffers between rounds.
+var bcastBufPool = sync.Pool{New: func() any { return []byte(nil) }}
 
 // NewServer validates the configuration and returns a server. test is
 // evaluated locally each round (the server owns the held-out set, as in
@@ -240,6 +272,10 @@ type clientConn struct {
 	// byte-identical frames (a re-encode against a moved base would
 	// desynchronize the client). Guarded by mu.
 	lastTR *wire.TrainRequestC
+	// lastEntry is the shared broadcast buffer backing lastTR.Payload;
+	// its reference is released when the request is replaced or the
+	// connection is dropped. Guarded by mu.
+	lastEntry *bcastEntry
 }
 
 func (c *clientConn) send(msg any) error {
@@ -359,24 +395,44 @@ func (s *Server) Run(ln net.Listener, onRound func(fl.RoundRecord)) (*fl.History
 			tel.Emit(telemetry.AttackSampled{Round: round, ClientIDs: attackIDs})
 		}
 
-		updates, dropped, err := s.trainRound(round, sampled, needDecoders, global, roundSpan)
+		// The round RNG is split off before training — nothing draws from
+		// serverRNG in between, so the child stream is byte-identical to a
+		// post-barrier split — which lets a streaming strategy pre-draw its
+		// whole audit plan while uploads are still in flight.
+		ctx := &fl.RoundContext{
+			Round:     round,
+			Global:    global,
+			RNG:       serverRNG.Split(),
+			Report:    map[string]float64{},
+			Telemetry: tel,
+		}
+		var stream fl.RoundStream
+		if s.cfg.StreamAudit {
+			if ss, ok := s.strategy.(fl.StreamingStrategy); ok {
+				stream = ss.BeginRound(ctx, len(sampled))
+			}
+		}
+		updates, dropped, err := s.trainRound(round, sampled, needDecoders, global, stream, roundSpan)
 		if err != nil {
+			if stream != nil {
+				stream.Abort()
+			}
 			return history, err
 		}
 		trainSecs := time.Since(trainStart).Seconds()
 
 		aggStart := time.Now()
 		aggSpan, stopAgg := tel.StartPhase(roundSpan, "server.aggregate")
-		ctx := &fl.RoundContext{
-			Round:     round,
-			Global:    global,
-			Updates:   updates,
-			RNG:       serverRNG.Split(),
-			Report:    map[string]float64{},
-			Telemetry: tel,
-			Span:      aggSpan,
+		ctx.Updates = updates
+		ctx.Span = aggSpan
+		var agg []float32
+		if stream != nil {
+			busy, jobs := stream.Overlap()
+			fl.RecordStreamOverlap(tel, roundSpan, busy, jobs)
+			agg, err = stream.Finalize(ctx)
+		} else {
+			agg, err = s.strategy.Aggregate(ctx)
 		}
-		agg, err := s.strategy.Aggregate(ctx)
 		if err != nil {
 			return history, fmt.Errorf("fednet: round %d aggregation: %w", round, err)
 		}
@@ -454,8 +510,12 @@ func (s *Server) Run(ln net.Listener, onRound func(fl.RoundRecord)) (*fl.History
 // collects the responsive updates in sampled order. In tolerant mode,
 // failing clients are dropped (telemetry + connection teardown) and the
 // round proceeds as long as the quorum holds; in strict mode any failure
-// aborts.
-func (s *Server) trainRound(round int, sampled []int, needDecoders bool, global []float32, roundSpan *telemetry.Span) ([]fl.Update, []int, error) {
+// aborts. A non-nil stream receives each decoded update at its sampled
+// slot the moment it arrives, so the strategy's audit overlaps the
+// remaining uploads; slots line up with the compacted updates slice only
+// on drop-free rounds, which is exactly when the stream's fast path is
+// valid (Finalize detects the mismatch otherwise and falls back).
+func (s *Server) trainRound(round int, sampled []int, needDecoders bool, global []float32, stream fl.RoundStream, roundSpan *telemetry.Span) ([]fl.Update, []int, error) {
 	tel := s.cfg.Telemetry
 	conns := make([]*clientConn, len(sampled))
 	s.mu.Lock()
@@ -489,6 +549,9 @@ func (s *Server) trainRound(round int, sampled []int, needDecoders bool, global 
 		go func(i int) {
 			defer wg.Done()
 			results[i], errs[i] = s.trainOne(conns[i], round, needDecoders, global, deadline, roundSpan)
+			if errs[i] == nil && stream != nil {
+				stream.Submit(i, results[i])
+			}
 		}(i)
 	}
 	wg.Wait()
@@ -532,6 +595,11 @@ func (s *Server) dropClient(round, id int, c *clientConn, cause error) {
 	}
 	s.mu.Unlock()
 	if c != nil {
+		c.mu.Lock()
+		s.releaseBroadcast(c.lastEntry)
+		c.lastEntry = nil
+		c.lastTR = nil
+		c.mu.Unlock()
 		c.count.Close()
 	}
 	reason := dropReason(cause)
@@ -758,6 +826,8 @@ func (s *Server) requestOnce(c *clientConn, round int, needDecoder bool, global 
 // hash the server already holds for this client so the update can dedup.
 // Retries of the same round reuse the cached request verbatim — a
 // re-encode against a moved base would desynchronize the peer.
+// Connections holding the same base share one encoded buffer via
+// encodeBroadcast, so the steady-state fan-out encodes once per round.
 // Caller holds c.mu.
 func (s *Server) buildRequestC(c *clientConn, round int, needDecoder bool, global []float32, reqSpan *telemetry.Span) (*wire.TrainRequestC, error) {
 	if c.lastTR != nil && c.lastTR.Round == uint32(round) {
@@ -768,7 +838,7 @@ func (s *Server) buildRequestC(c *clientConn, round int, needDecoder bool, globa
 	if base == nil {
 		base, baseRound = s.initGlobal, 0
 	}
-	payload, err := codec.EncodeDelta(global, base)
+	entry, err := s.encodeBroadcast(uint32(round), baseRound, global, base, reqSpan)
 	if err != nil {
 		return nil, err
 	}
@@ -785,17 +855,80 @@ func (s *Server) buildRequestC(c *clientConn, round int, needDecoder bool, globa
 		Encoding:    wire.EncDelta,
 		BaseRound:   baseRound,
 		NumParams:   uint32(len(global)),
-		Payload:     payload,
+		Payload:     entry.payload,
 	}
 	if c.trace {
 		// Attached once at build time: the cached frame (and thus every
 		// retry) carries the identical trace block.
 		tr.Trace = wireTrace(reqSpan.Context())
 	}
+	s.releaseBroadcast(c.lastEntry)
+	c.lastEntry = entry
 	c.lastTR = tr
 	c.baseVec = global
 	c.baseRound = uint32(round)
 	return tr, nil
+}
+
+// encodeBroadcast returns the round's encoded delta against the given
+// base, shared by every connection holding that base: the first request
+// for a (round, baseRound) key delta-encodes into a pooled buffer under
+// s.mu — concurrent requesters for the same key block briefly and reuse
+// the result — and later requests just bump the refcount. Fresh or
+// rejoined connections (base ψ₀, round 0) share a key the same way.
+func (s *Server) encodeBroadcast(round, baseRound uint32, global, base []float32, reqSpan *telemetry.Span) (*bcastEntry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.bcastRound != round {
+		// Entries of earlier rounds die with their refcounts; the new
+		// round starts a fresh key space.
+		s.bcast = make(map[uint32]*bcastEntry)
+		s.bcastRound = round
+	}
+	if e := s.bcast[baseRound]; e != nil {
+		e.refs++
+		return e, nil
+	}
+	sp := reqSpan.Child("server.encode_broadcast",
+		telemetry.L("base_round", strconv.Itoa(int(baseRound))))
+	start := time.Now()
+	buf, _ := bcastBufPool.Get().([]byte)
+	payload, err := codec.AppendEncodeDelta(buf[:0], global, base)
+	if err != nil {
+		sp.End()
+		return nil, err
+	}
+	s.bcastEncodes.Add(1)
+	sp.SetInt("bytes", int64(len(payload)))
+	sp.End()
+	s.cfg.Telemetry.Observe(telemetry.BroadcastEncodeMetric, time.Since(start).Seconds())
+	e := &bcastEntry{payload: payload, refs: 1}
+	s.bcast[baseRound] = e
+	return e, nil
+}
+
+// releaseBroadcast drops one reference to a shared broadcast buffer,
+// recycling it once no cached request uses it. A zero-ref entry is also
+// unlinked from the current round's cache so a later requester cannot
+// revive a recycled buffer. Safe on nil; callers must not hold s.mu.
+func (s *Server) releaseBroadcast(e *bcastEntry) {
+	if e == nil {
+		return
+	}
+	s.mu.Lock()
+	e.refs--
+	free := e.refs == 0
+	if free {
+		for k, v := range s.bcast {
+			if v == e {
+				delete(s.bcast, k)
+			}
+		}
+	}
+	s.mu.Unlock()
+	if free {
+		bcastBufPool.Put(e.payload[:0])
+	}
 }
 
 // decodeUpdateC reverses the client's compressed update: weights are a

@@ -1,0 +1,350 @@
+package fednet
+
+import (
+	"fmt"
+	"net"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"fedguard/internal/aggregate"
+	"fedguard/internal/classifier"
+	"fedguard/internal/cvae"
+	"fedguard/internal/dataset"
+	"fedguard/internal/defense"
+	"fedguard/internal/experiment"
+	"fedguard/internal/faultnet"
+	"fedguard/internal/fl"
+	"fedguard/internal/rng"
+	"fedguard/internal/telemetry"
+)
+
+// newTestGuard builds a real FedGuard matched to testConfig's client
+// CVAE shape.
+func newTestGuard() *defense.FedGuard {
+	return defense.NewFedGuard(classifier.Tiny(),
+		cvae.Config{Input: 784, Hidden: 16, Latent: 2, Classes: 10})
+}
+
+// TestStreamAuditLoopbackMatchesBarrier is the round-pipeline
+// determinism pin: a streaming-audit FedGuard federation must finish
+// with byte-identical weights and reports to the barrier ordering, for
+// several experiment seeds, over the compressed wire path (so
+// encode-once broadcast sharing is in the loop too).
+func TestStreamAuditLoopbackMatchesBarrier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains CVAEs over the network, twice per seed")
+	}
+	test := dataset.Generate(40, dataset.DefaultGenOptions(), rng.New(5))
+	for _, seed := range []uint64{99, 7, 21} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			cfg := testConfig()
+			cfg.Experiment.Seed = seed
+			cfg.Compress = true
+
+			barrier := runLoopbackOpts(t, cfg, newTestGuard(), test, ClientOptions{Compress: true})
+
+			scfg := cfg
+			scfg.StreamAudit = true
+			streamed := runLoopbackOpts(t, scfg, newTestGuard(), test, ClientOptions{Compress: true})
+
+			if !reflect.DeepEqual(barrier.FinalWeights, streamed.FinalWeights) {
+				t.Fatal("streaming audit diverged from barrier final weights")
+			}
+			for i := range barrier.Rounds {
+				if !reflect.DeepEqual(barrier.Rounds[i].Report, streamed.Rounds[i].Report) {
+					t.Fatalf("round %d reports differ: %v vs %v",
+						i+1, barrier.Rounds[i].Report, streamed.Rounds[i].Report)
+				}
+			}
+		})
+	}
+}
+
+// TestStreamAuditQuickPreset is the pipeline acceptance run: the quick
+// experiment preset with streaming audit plus encode-once broadcasts
+// lands on the same bytes as the barrier run, and the in-process
+// simulator with StreamAudit agrees too.
+func TestStreamAuditQuickPreset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three full quick-preset federations")
+	}
+	setup, err := experiment.NewSetup(experiment.Preset("quick"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Experiment: fl.FederationConfig{
+			NumClients: setup.NumClients,
+			PerRound:   setup.PerRound,
+			Rounds:     setup.Rounds,
+			Alpha:      setup.Alpha,
+			ServerLR:   setup.ServerLR,
+			Client: fl.ClientConfig{
+				Arch:       setup.Arch,
+				Train:      setup.Train,
+				CVAE:       setup.CVAE,
+				CVAETrain:  setup.CVAETrain,
+				NumClasses: 10,
+			},
+			TestSubset: setup.TestSubset,
+			Seed:       setup.Seed,
+		},
+		ArchName:  setup.ArchName,
+		DataSeed:  rng.DeriveSeed(setup.Seed, "traindata", 0),
+		TrainSize: setup.TrainSize,
+		Compress:  true,
+	}
+	test := dataset.Generate(setup.TestSize, dataset.DefaultGenOptions(),
+		rng.New(rng.DeriveSeed(setup.Seed, "testdata", 0)))
+	newGuard := func() fl.Strategy {
+		s, err := experiment.NewStrategy("FedGuard", setup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	barrier := runLoopbackOpts(t, cfg, newGuard(), test, ClientOptions{Compress: true})
+
+	scfg := cfg
+	scfg.StreamAudit = true
+	streamed := runLoopbackOpts(t, scfg, newGuard(), test, ClientOptions{Compress: true})
+
+	// The in-process simulator honors the same flag through the shared
+	// fl.FederationConfig.
+	icfg := cfg.Experiment
+	icfg.StreamAudit = true
+	train := dataset.Generate(cfg.TrainSize, dataset.DefaultGenOptions(), rng.New(cfg.DataSeed))
+	fed, err := fl.NewFederation(train, test, icfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inHist, err := fed.Run(newGuard(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(barrier.FinalWeights, streamed.FinalWeights) {
+		t.Fatal("streamed quick-preset run diverged from barrier run")
+	}
+	if !reflect.DeepEqual(streamed.FinalWeights, inHist.FinalWeights) {
+		t.Fatal("streamed networked run diverged from the streaming in-process simulator")
+	}
+}
+
+// TestStreamAuditMixedPeersMatchesBarrier runs streaming audit over a
+// federation where only half the clients negotiate the codec: raw and
+// compressed connections interleave within each round, and the result
+// must still match the barrier run of the identical mixed federation.
+func TestStreamAuditMixedPeersMatchesBarrier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains CVAEs over the network, twice")
+	}
+	test := dataset.Generate(40, dataset.DefaultGenOptions(), rng.New(5))
+	run := func(streamAudit bool, tel *telemetry.T) *fl.History {
+		cfg := testConfig()
+		cfg.Compress = true
+		cfg.StreamAudit = streamAudit
+		cfg.Telemetry = tel
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ln.Close()
+		srv, err := NewServer(cfg, test, newTestGuard())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		errs := make([]error, cfg.Experiment.NumClients)
+		for id := 0; id < cfg.Experiment.NumClients; id++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				conn, err := net.Dial("tcp", ln.Addr().String())
+				if err != nil {
+					errs[id] = err
+					return
+				}
+				defer conn.Close()
+				// Even IDs advertise the codec, odd IDs stay raw.
+				errs[id] = ServeClientOpts(conn, id, ClientOptions{Compress: id%2 == 0})
+			}(id)
+		}
+		h, err := srv.Run(ln, nil)
+		if err != nil {
+			t.Fatalf("server: %v", err)
+		}
+		wg.Wait()
+		for id, err := range errs {
+			if err != nil {
+				t.Fatalf("client %d: %v", id, err)
+			}
+		}
+		return h
+	}
+	barrier := run(false, nil)
+	tel := telemetry.New(nil)
+	streamed := run(true, tel)
+	if !reflect.DeepEqual(barrier.FinalWeights, streamed.FinalWeights) {
+		t.Fatal("streaming audit with mixed peers diverged from barrier run")
+	}
+	// The equality above is only meaningful if the stream actually ran:
+	// the server records one audit-overlap observation per streamed round.
+	overlaps := tel.Metrics.Histogram(telemetry.AuditOverlapMetric).Count()
+	if want := int64(testConfig().Experiment.Rounds); overlaps != want {
+		t.Fatalf("%d audit-overlap observations, want %d — streaming audit never engaged", overlaps, want)
+	}
+	if tel.Metrics.Histogram(telemetry.BroadcastEncodeMetric).Count() == 0 {
+		t.Fatal("no broadcast-encode observations on the compressed path")
+	}
+}
+
+// TestStreamAuditChaosMatchesBarrier drives the streaming pipeline
+// through fault injection — a mid-upload crasher and a straggler — with
+// a real FedGuard. Dropped clients force the stream's batch fallback;
+// the run must drop the same clients and produce the same bytes as the
+// barrier ordering under the identical fault seed.
+func TestStreamAuditChaosMatchesBarrier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second fault-injection run with CVAE training")
+	}
+	// Write-count-dependent faults would diverge between runs only if the
+	// two runs wrote different frame sequences; stream vs barrier changes
+	// server-side compute order, not frames, so the crasher stays.
+	plan := func() *faultnet.Plan {
+		return &faultnet.Plan{
+			Seed: 7,
+			Peers: map[int]faultnet.PeerPlan{
+				0: {SkipWrites: 1, DropAfterWrites: 2},
+				1: {SkipWrites: 1, WriteDelay: 5 * time.Minute},
+			},
+		}
+	}
+	run := func(streamAudit bool) *fl.History {
+		cfg := chaosConfig()
+		cfg.StreamAudit = streamAudit
+		test := dataset.Generate(40, dataset.DefaultGenOptions(), rng.New(5))
+		srv, err := NewServer(cfg, test, newTestGuard())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ln.Close()
+		wait := chaosClients(t, ln.Addr().String(), plan(), cfg.Experiment.NumClients, nil)
+		h, err := srv.Run(ln, nil)
+		wait()
+		if err != nil {
+			t.Fatalf("server: %v", err)
+		}
+		return h
+	}
+	barrier := run(false)
+	streamed := run(true)
+	if len(barrier.Rounds) != len(streamed.Rounds) {
+		t.Fatalf("round counts differ: %d vs %d", len(barrier.Rounds), len(streamed.Rounds))
+	}
+	for i := range barrier.Rounds {
+		if !reflect.DeepEqual(barrier.Rounds[i].Dropped, streamed.Rounds[i].Dropped) {
+			t.Fatalf("round %d drops differ: %v vs %v",
+				i+1, barrier.Rounds[i].Dropped, streamed.Rounds[i].Dropped)
+		}
+	}
+	if !reflect.DeepEqual(barrier.FinalWeights, streamed.FinalWeights) {
+		t.Fatal("streaming audit under chaos diverged from barrier final weights")
+	}
+}
+
+// TestBroadcastEncodeOnce pins the fan-out property: with every client
+// on the codec path and no drops, each round's broadcast is
+// delta-encoded exactly once however many clients it reaches (round one
+// shares the ψ₀ base the same way).
+func TestBroadcastEncodeOnce(t *testing.T) {
+	cfg := testConfig()
+	cfg.Experiment.PerRound = cfg.Experiment.NumClients // all share one base per round
+	cfg.Compress = true
+	test := dataset.Generate(40, dataset.DefaultGenOptions(), rng.New(5))
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	srv, err := NewServer(cfg, test, aggregate.NewFedAvg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for id := 0; id < cfg.Experiment.NumClients; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			ServeClientOpts(conn, id, ClientOptions{Compress: true})
+		}(id)
+	}
+	if _, err := srv.Run(ln, nil); err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	wg.Wait()
+	want := int64(cfg.Experiment.Rounds)
+	if got := srv.bcastEncodes.Load(); got != want {
+		t.Fatalf("%d broadcast encodes for %d rounds × %d clients, want %d (one per round)",
+			got, cfg.Experiment.Rounds, cfg.Experiment.NumClients, want)
+	}
+}
+
+// BenchmarkServerBroadcastFanout measures building one round's
+// compressed broadcast for m connections sharing a delta base. The
+// encodes/round metric is the point: it stays at 1 as m grows, so the
+// per-connection cost degenerates to a cache hit plus refcount.
+func BenchmarkServerBroadcastFanout(b *testing.B) {
+	r := rng.New(42)
+	base := make([]float32, 65_536)
+	r.FillNormal(base, 0, 0.1)
+	step := make([]float32, len(base))
+	r.FillNormal(step, 0, 0.001)
+
+	for _, m := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("conns=%d", m), func(b *testing.B) {
+			s := &Server{initGlobal: base}
+			s.decoders = make(map[int]*decoderCache)
+			conns := make([]*clientConn, m)
+			for i := range conns {
+				conns[i] = &clientConn{id: i, enc: true}
+			}
+			global := make([]float32, len(base))
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				round := n + 1
+				// A fresh global each round, as the server would hold.
+				prev := s.initGlobal
+				if round > 1 {
+					prev = conns[0].baseVec
+				}
+				for i := range global {
+					global[i] = prev[i] + step[i]
+				}
+				for _, c := range conns {
+					c.mu.Lock()
+					if _, err := s.buildRequestC(c, round, false, global, nil); err != nil {
+						c.mu.Unlock()
+						b.Fatal(err)
+					}
+					c.mu.Unlock()
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(s.bcastEncodes.Load())/float64(b.N), "encodes/round")
+		})
+	}
+}

@@ -45,6 +45,14 @@ type FederationConfig struct {
 	Stream *StreamConfig
 	// Workers bounds concurrent client training (default GOMAXPROCS).
 	Workers int
+	// StreamAudit overlaps the strategy's per-update audit work with
+	// client training when the strategy implements StreamingStrategy
+	// (FedGuard): each update is submitted to the round's stream as its
+	// client finishes, so decoder synthesis and scoring run in parallel
+	// with the remaining clients instead of serially after the barrier.
+	// Results are byte-identical either way; false keeps the pure
+	// barrier-then-aggregate ordering.
+	StreamAudit bool
 	// TestSubset limits per-round evaluation to the first k test examples
 	// (0 = the whole test set).
 	TestSubset int
@@ -226,22 +234,39 @@ func (f *Federation) Run(strategy Strategy, onRound func(RoundRecord)) (*History
 		if len(attackIDs) > 0 {
 			tel.Emit(telemetry.AttackSampled{Round: round, ClientIDs: attackIDs})
 		}
+		// The round RNG is split off before training so a streaming
+		// strategy can pre-draw its plan; nothing draws from serverRNG in
+		// between, so the child stream is identical to a post-barrier split.
+		ctx := &RoundContext{
+			Round:     round,
+			Global:    global,
+			RNG:       serverRNG.Split(),
+			Report:    map[string]float64{},
+			Telemetry: tel,
+		}
+		var stream RoundStream
+		if cfg.StreamAudit {
+			if ss, ok := strategy.(StreamingStrategy); ok {
+				stream = ss.BeginRound(ctx, len(sampled))
+			}
+		}
 		updates := make([]Update, len(sampled))
-		f.trainSampled(clients, sampled, global, needDecoders, updates, roundSpan)
+		f.trainSampled(clients, sampled, global, needDecoders, updates, stream, roundSpan)
 		trainSecs := time.Since(trainStart).Seconds()
 
 		aggStart := time.Now()
 		aggSpan, stopAgg := tel.StartPhase(roundSpan, "server.aggregate")
-		ctx := &RoundContext{
-			Round:     round,
-			Global:    global,
-			Updates:   updates,
-			RNG:       serverRNG.Split(),
-			Report:    map[string]float64{},
-			Telemetry: tel,
-			Span:      aggSpan,
+		ctx.Updates = updates
+		ctx.Span = aggSpan
+		var agg []float32
+		var err error
+		if stream != nil {
+			busy, jobs := stream.Overlap()
+			RecordStreamOverlap(tel, roundSpan, busy, jobs)
+			agg, err = stream.Finalize(ctx)
+		} else {
+			agg, err = strategy.Aggregate(ctx)
 		}
-		agg, err := strategy.Aggregate(ctx)
 		if err != nil {
 			return history, fmt.Errorf("fl: round %d aggregation: %w", round, err)
 		}
@@ -388,8 +413,10 @@ func ClientRNGSeed(seed uint64, id int) uint64 {
 // trainSampled runs the sampled clients' local training on a bounded
 // worker pool, writing each update at its position. When roundSpan is
 // live each client gets a "client.round" child span, so the in-process
-// trace carries the same per-client topology a networked run does.
-func (f *Federation) trainSampled(clients []*Client, sampled []int, global []float32, needDecoders bool, out []Update, roundSpan *telemetry.Span) {
+// trace carries the same per-client topology a networked run does. A
+// non-nil stream receives each finished update immediately, overlapping
+// the strategy's audit with the remaining clients' training.
+func (f *Federation) trainSampled(clients []*Client, sampled []int, global []float32, needDecoders bool, out []Update, stream RoundStream, roundSpan *telemetry.Span) {
 	sem := make(chan struct{}, f.cfg.Workers)
 	var wg sync.WaitGroup
 	for i, id := range sampled {
@@ -402,7 +429,22 @@ func (f *Federation) trainSampled(clients []*Client, sampled []int, global []flo
 			out[i] = clients[id].RunRoundSpan(global, needDecoders, sp)
 			sp.SetInt("num_samples", int64(out[i].NumSamples))
 			sp.End()
+			if stream != nil {
+				stream.Submit(i, out[i])
+			}
 		}(i, id)
 	}
 	wg.Wait()
+}
+
+// RecordStreamOverlap publishes one streaming round's overlap figures: a
+// zero-length "server.audit_stream" span under the round carrying the
+// overlapped busy time and job count, plus the AuditOverlapMetric
+// histogram observation. Shared by the in-process and networked servers.
+func RecordStreamOverlap(tel *telemetry.T, roundSpan *telemetry.Span, busy time.Duration, jobs int) {
+	sp := roundSpan.Child("server.audit_stream")
+	sp.SetInt("overlap_us", busy.Microseconds())
+	sp.SetInt("jobs", int64(jobs))
+	sp.End()
+	tel.Observe(telemetry.AuditOverlapMetric, busy.Seconds())
 }

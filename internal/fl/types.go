@@ -8,6 +8,8 @@
 package fl
 
 import (
+	"time"
+
 	"fedguard/internal/rng"
 	"fedguard/internal/telemetry"
 )
@@ -102,6 +104,49 @@ func (ctx *RoundContext) ExcludeClient(clientID int, score, mean float64) {
 		Mean:     mean,
 	})
 	ctx.Telemetry.AddCounter("fedguard_clients_excluded_total", 1)
+}
+
+// StreamingStrategy is an optional Strategy extension. A strategy that
+// can overlap per-update audit work with the round's upload phase
+// implements BeginRound; servers that know the participant count up
+// front call it when the round opens and feed updates into the returned
+// stream as they arrive, so the strategy's compute hides in the network
+// shadow instead of running serially after the barrier.
+//
+// The contract is strict determinism: Finalize must return exactly the
+// bytes Aggregate would have returned for the same RoundContext. To make
+// that possible BeginRound must not advance ctx.RNG — it speculates on a
+// private clone — so that a fallback to Aggregate (after drop-outs,
+// slot mismatches, or internal errors) replays the identical serial
+// computation.
+type StreamingStrategy interface {
+	Strategy
+	// BeginRound opens a streaming round expecting m updates. ctx carries
+	// the round's Global/RNG/Telemetry but no Updates yet. A nil return
+	// means this round cannot be streamed; the caller uses Aggregate.
+	BeginRound(ctx *RoundContext, m int) RoundStream
+}
+
+// RoundStream ingests one round's updates as they arrive. Submit may be
+// called concurrently from receiver goroutines; Finalize and Abort must
+// be called exactly once (one of the two), after which the stream is
+// dead.
+type RoundStream interface {
+	// Submit hands the stream the update destined for ctx.Updates[slot].
+	// Safe for concurrent use.
+	Submit(slot int, u Update)
+	// Finalize blocks until in-flight work drains and returns the round's
+	// aggregate. ctx must hold the assembled Updates in slot order; on any
+	// inconsistency with what was submitted the stream falls back to the
+	// batch path internally, so the result is identical either way.
+	Finalize(ctx *RoundContext) ([]float32, error)
+	// Abort discards the stream (round failed); it blocks until workers
+	// exit.
+	Abort()
+	// Overlap reports how much audit compute the stream has completed so
+	// far and across how many jobs. Read it just before Finalize to
+	// measure the work that overlapped the upload phase.
+	Overlap() (busy time.Duration, jobs int)
 }
 
 // Sampler chooses which clients participate in a round. The default is

@@ -132,6 +132,14 @@ func GaussianKL(mu, logvar *tensor.Tensor) (float64, *tensor.Tensor, *tensor.Ten
 // Accuracy returns the fraction of rows of logits (B, C) whose argmax
 // equals the label.
 func Accuracy(logits *tensor.Tensor, labels []int) float64 {
+	return float64(CountCorrect(logits, labels)) / float64(logits.Dim(0))
+}
+
+// CountCorrect returns how many rows of logits argmax to their label.
+// Exposing the integer count lets callers score a set in blocks and sum:
+// the total is exactly the count a single full-batch Accuracy call would
+// produce, so block-wise evaluation stays bit-identical.
+func CountCorrect(logits *tensor.Tensor, labels []int) int {
 	b, c := logits.Dim(0), logits.Dim(1)
 	if len(labels) != b {
 		panic(fmt.Sprintf("loss: %d labels for batch of %d", len(labels), b))
@@ -149,5 +157,5 @@ func Accuracy(logits *tensor.Tensor, labels []int) float64 {
 			correct++
 		}
 	}
-	return float64(correct) / float64(b)
+	return correct
 }

@@ -85,6 +85,16 @@ func (r *RNG) Split() *RNG {
 	return c
 }
 
+// Clone returns an independent copy of the generator frozen at the
+// current state: the clone and the original produce the same future
+// stream, and advancing one leaves the other untouched. The streaming
+// audit path uses this to speculate draws on a copy while keeping the
+// original pristine for the batch fallback.
+func (r *RNG) Clone() *RNG {
+	c := *r
+	return &c
+}
+
 // Intn returns a uniform int in [0, n). It panics if n <= 0.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {

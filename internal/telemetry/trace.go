@@ -248,3 +248,16 @@ func LogBuckets(min, max float64, perDecade int) []float64 {
 // observation, labeled client=<id>. Registered with log-spaced buckets
 // (see LogBuckets) before the first observation.
 const PeerLatencyMetric = "fedguard_peer_latency_seconds"
+
+// BroadcastEncodeMetric is the histogram of broadcast-encoding times:
+// one observation per actual delta encode of the round's outgoing
+// global. With encode-once sharing, connections holding the same delta
+// base reuse one buffer, so observations stay O(1) per round however
+// many clients participate.
+const BroadcastEncodeMetric = "fedguard_broadcast_encode_seconds"
+
+// AuditOverlapMetric is the histogram of per-round streaming-audit
+// overlap: the audit compute (decoder synthesis + scoring) that ran
+// while client uploads were still in flight, i.e. work hidden in the
+// network shadow instead of serialized after the round barrier.
+const AuditOverlapMetric = "fedguard_audit_overlap_seconds"

@@ -39,8 +39,18 @@ type kernelArgs struct {
 // nothing.
 type kernelFunc func(g kernelArgs, lo, hi int)
 
+// RangeRunner is a pooled task that processes contiguous index ranges.
+// It lets packages outside the matmul kernels (the codec's byte-plane
+// encoder) borrow the same persistent workers without a closure
+// allocation per dispatch: callers hand over a pooled struct whose
+// pointer travels through the task channel inside the interface value.
+type RangeRunner interface {
+	RunRange(lo, hi int)
+}
+
 type poolTask struct {
 	run    kernelFunc
+	rr     RangeRunner // used when run == nil
 	args   kernelArgs
 	lo, hi int
 	wg     *sync.WaitGroup
@@ -95,9 +105,47 @@ func ensureWorkers(n int) {
 
 func poolWorker() {
 	for t := range poolTasks {
-		t.run(t.args, t.lo, t.hi)
+		if t.run != nil {
+			t.run(t.args, t.lo, t.hi)
+		} else {
+			t.rr.RunRange(t.lo, t.hi)
+		}
 		t.wg.Done()
 	}
+}
+
+// ParallelRanges splits [0, n) into at most Workers() contiguous chunks,
+// runs the first chunk on the calling goroutine and the rest on the
+// pool, and waits for completion. rr.RunRange must be safe to execute
+// concurrently on disjoint ranges. Like the kernels, results must never
+// depend on the partitioning; the codec's per-plane encoder satisfies
+// this because each plane is encoded independently and concatenated in
+// index order afterwards.
+func ParallelRanges(rr RangeRunner, n int) {
+	workers := Workers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n > 0 {
+			rr.RunRange(0, n)
+		}
+		return
+	}
+	ensureWorkers(workers - 1)
+	chunk := (n + workers - 1) / workers
+	wg := wgPool.Get().(*sync.WaitGroup)
+	for lo := chunk; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		poolTasks <- poolTask{rr: rr, lo: lo, hi: hi, wg: wg}
+	}
+	rr.RunRange(0, chunk)
+	wg.Wait()
+	wgPool.Put(wg)
 }
 
 // parallelRows splits the row range [0, m) into Workers() contiguous

@@ -31,6 +31,7 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
+	"sync"
 )
 
 // MaxFrame bounds a single frame's payload (type byte + body). The paper
@@ -227,29 +228,47 @@ type UpdateC struct {
 // Shutdown ends the client's session.
 type Shutdown struct{}
 
+// frameBuf is WriteMessage's pooled working set: the body scratch, the
+// 64 KiB buffered writer, and the header bytes. Pooling them removes
+// the per-message allocations that dominated the write path (a fresh
+// bufio.Writer per frame was most of it) without changing a byte on the
+// wire or the underlying write pattern the fault-injection tests count.
+type frameBuf struct {
+	body   []byte
+	header [headerSize + 1]byte
+	bw     *bufio.Writer
+}
+
+var framePool = sync.Pool{New: func() any { return new(frameBuf) }}
+
+// maxRetainedBody caps the body capacity a pooled frameBuf keeps;
+// larger one-off frames are dropped so the pool does not pin them.
+const maxRetainedBody = 16 << 20
+
 // WriteMessage frames and writes one message.
 func WriteMessage(w io.Writer, msg any) error {
+	fb := framePool.Get().(*frameBuf)
 	var typ byte
-	var body []byte
+	body := fb.body[:0]
 	switch m := msg.(type) {
 	case *Hello:
 		typ = TypeHello
-		body = appendU32(nil, m.ClientID)
+		body = appendU32(body, m.ClientID)
 		if m.Encodings != 0 {
 			body = append(body, m.Encodings)
 		}
 	case *Setup:
 		typ = TypeSetup
-		body = encodeSetup(m)
+		body = encodeSetup(m, body)
 	case *TrainRequest:
 		typ = TypeTrainRequest
-		body = appendU32(nil, m.Round)
+		body = appendU32(body, m.Round)
 		body = append(body, boolByte(m.NeedDecoder))
 		body = appendF32s(body, m.Global)
 		body = appendTrace(body, m.Trace)
 	case *Update:
 		typ = TypeUpdate
-		body = appendU32(nil, m.Round)
+		body = appendU32(body, m.Round)
 		body = appendU32(body, m.ClientID)
 		body = appendU32(body, m.NumSamples)
 		body = appendF32s(body, m.Weights)
@@ -258,7 +277,7 @@ func WriteMessage(w io.Writer, msg any) error {
 		body = appendTrace(body, m.Trace)
 	case *TrainRequestC:
 		typ = TypeTrainRequestC
-		body = appendU32(nil, m.Round)
+		body = appendU32(body, m.Round)
 		body = append(body, boolByte(m.NeedDecoder))
 		body = appendU64(body, m.DecoderHash)
 		body = append(body, m.Encoding)
@@ -268,7 +287,7 @@ func WriteMessage(w io.Writer, msg any) error {
 		body = appendTrace(body, m.Trace)
 	case *UpdateC:
 		typ = TypeUpdateC
-		body = appendU32(nil, m.Round)
+		body = appendU32(body, m.Round)
 		body = appendU32(body, m.ClientID)
 		body = appendU32(body, m.NumSamples)
 		body = append(body, m.Encoding)
@@ -282,19 +301,40 @@ func WriteMessage(w io.Writer, msg any) error {
 	case *Shutdown:
 		typ = TypeShutdown
 	default:
+		framePool.Put(fb)
 		return fmt.Errorf("wire: cannot encode %T", msg)
 	}
+	fb.body = body
+	err := writeFrame(fb, w, typ, body)
+	if cap(fb.body) > maxRetainedBody {
+		fb.body = nil
+	}
+	framePool.Put(fb)
+	return err
+}
+
+// writeFrame emits [len][crc][type+body] through the pooled buffered
+// writer. The header and body stay separate Write calls so the
+// underlying write boundaries match the historical per-call
+// bufio.Writer exactly (the chaos harness counts them).
+func writeFrame(fb *frameBuf, w io.Writer, typ byte, body []byte) error {
 	n := len(body) + 1
 	if n > MaxFrame {
 		return fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
 	}
-	crc := crc32.Update(crc32.Checksum([]byte{typ}, crcTable), crcTable, body)
-	header := make([]byte, headerSize+1)
-	binary.LittleEndian.PutUint32(header, uint32(n))
-	binary.LittleEndian.PutUint32(header[4:], crc)
-	header[headerSize] = typ
-	bw := bufio.NewWriterSize(w, 64<<10)
-	if _, err := bw.Write(header); err != nil {
+	fb.header[headerSize] = typ
+	crc := crc32.Update(crc32.Checksum(fb.header[headerSize:], crcTable), crcTable, body)
+	binary.LittleEndian.PutUint32(fb.header[:], uint32(n))
+	binary.LittleEndian.PutUint32(fb.header[4:], crc)
+	bw := fb.bw
+	if bw == nil {
+		bw = bufio.NewWriterSize(w, 64<<10)
+		fb.bw = bw
+	} else {
+		bw.Reset(w)
+	}
+	defer bw.Reset(nil) // drop the conn reference while pooled
+	if _, err := bw.Write(fb.header[:]); err != nil {
 		return err
 	}
 	if _, err := bw.Write(body); err != nil {
@@ -401,8 +441,8 @@ func readPayload(r io.Reader, n int) ([]byte, error) {
 	return buf, nil
 }
 
-func encodeSetup(m *Setup) []byte {
-	b := appendU64(nil, m.Seed)
+func encodeSetup(m *Setup, dst []byte) []byte {
+	b := appendU64(dst, m.Seed)
 	b = appendU64(b, m.DataSeed)
 	b = appendU32(b, m.TrainSize)
 	b = appendU32s(b, m.Indices)
