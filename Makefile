@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short race vet ci bench bench-json bench-smoke bench-guard test-chaos test-codec trace-smoke fuzz-smoke clean
+.PHONY: all build test test-short race vet ci bench bench-json bench-smoke bench-guard test-chaos test-codec test-resume trace-smoke fuzz-smoke clean
 
 # The substrate microbenchmarks tracked in BENCH_micro.json.
 MICRO_BENCH = BenchmarkMatMul128$$|BenchmarkConvForward$$|BenchmarkConvBackward$$|BenchmarkClassifierTrainEpoch$$|BenchmarkDecoderGenerate$$
@@ -11,6 +11,9 @@ WIRE_BENCH = BenchmarkWireWriteUpdate$$|BenchmarkWireReadUpdate$$|BenchmarkRound
 # tracked in the same snapshot file.
 CODEC_BENCH = BenchmarkCodecEncode$$|BenchmarkCodecEncodeDelta$$|BenchmarkCodecHash$$
 FANOUT_BENCH = BenchmarkServerBroadcastFanout$$
+# The checkpoint write-cost benchmarks (serialization alone, and the full
+# fsync+rename durable path), tracked in the same snapshot file.
+CKPT_BENCH = BenchmarkCheckpointWrite$$|BenchmarkCheckpointSave$$
 # Label for the snapshot written by bench-json.
 BENCH_LABEL ?= current
 
@@ -35,9 +38,10 @@ vet:
 # under the race detector (telemetry and fednet are concurrent), one
 # iteration of every substrate microbenchmark so a broken kernel fails
 # fast even when its unit tests are skipped, the fault-injection chaos
-# suite, the lossless-codec stack, the distributed-tracing smoke run,
-# and bounded fuzz passes over the wire and codec decoders.
-ci: vet race bench-smoke bench-guard test-chaos test-codec trace-smoke fuzz-smoke
+# suite, the lossless-codec stack, the crash-recovery kill/resume drill,
+# the distributed-tracing smoke run, and bounded fuzz passes over the
+# wire, codec, and checkpoint decoders.
+ci: vet race bench-smoke bench-guard test-chaos test-codec test-resume trace-smoke fuzz-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...
@@ -49,6 +53,7 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench '$(WIRE_BENCH)' -benchmem -benchtime=1x ./internal/wire/
 	$(GO) test -run '^$$' -bench '$(CODEC_BENCH)' -benchmem -benchtime=1x ./internal/codec/
 	$(GO) test -run '^$$' -bench '$(FANOUT_BENCH)' -benchmem -benchtime=1x ./internal/fednet/
+	$(GO) test -run '^$$' -bench '$(CKPT_BENCH)' -benchmem -benchtime=1x ./internal/persist/
 
 # bench-json measures the tracked microbenchmarks and records them as a
 # labelled snapshot in BENCH_micro.json (BENCH_LABEL=<label> to name it;
@@ -57,16 +62,19 @@ bench-json:
 	{ $(GO) test -run '^$$' -bench '$(MICRO_BENCH)' -benchmem -benchtime=3s . ; \
 	  $(GO) test -run '^$$' -bench '$(WIRE_BENCH)' -benchmem -benchtime=3s ./internal/wire/ ; \
 	  $(GO) test -run '^$$' -bench '$(CODEC_BENCH)' -benchmem -benchtime=3s ./internal/codec/ ; \
-	  $(GO) test -run '^$$' -bench '$(FANOUT_BENCH)' -benchmem -benchtime=20x ./internal/fednet/ ; } \
+	  $(GO) test -run '^$$' -bench '$(FANOUT_BENCH)' -benchmem -benchtime=20x ./internal/fednet/ ; \
+	  $(GO) test -run '^$$' -bench '$(CKPT_BENCH)' -benchmem -benchtime=3s ./internal/persist/ ; } \
 		| $(GO) run ./cmd/benchjson -label '$(BENCH_LABEL)' -out BENCH_micro.json
 
 # bench-guard re-measures the round-pipeline critical benchmarks and
 # fails if any exceed the ceilings committed in BENCH_guard.json — the
-# regression tripwire for the pooled frame writer and codec fast paths.
-# Ceilings are loose (≈2-3× the snapshot numbers) so CI noise passes but
-# a lost fast path or reintroduced per-op allocation fails.
+# regression tripwire for the pooled frame writer, the codec fast paths,
+# and the per-round checkpoint serialization cost. Ceilings are loose
+# (≈2-3× the snapshot numbers) so CI noise passes but a lost fast path
+# or reintroduced per-op allocation fails.
 bench-guard:
-	$(GO) test -run '^$$' -bench 'BenchmarkWireWriteUpdate$$' -benchmem -benchtime=50x ./internal/wire/ \
+	{ $(GO) test -run '^$$' -bench 'BenchmarkWireWriteUpdate$$' -benchmem -benchtime=50x ./internal/wire/ ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkCheckpointWrite$$' -benchmem -benchtime=50x ./internal/persist/ ; } \
 		| $(GO) run ./cmd/benchjson -guard BENCH_guard.json
 
 # test-chaos runs the deterministic fault-injection suite — the faultnet
@@ -85,6 +93,20 @@ test-codec:
 	$(GO) test ./internal/codec/
 	$(GO) test -race -short -run 'Compressed' ./internal/fednet/
 
+# test-resume is the crash-recovery gate: checkpoint format pins and
+# fuzz-adjacent rejection tests in persist, the in-process kill/resume
+# suite in fl, and the networked drill in fednet — a server killed at
+# each interior round boundary (and once mid-round, after uploads but
+# before aggregation) resumes on the same address against surviving
+# resilient clients with bit-identical results. Race on — the drill
+# spans two server lifetimes of concurrent sockets. -short keeps the
+# full 3-seed × raw/codec × barrier/stream FedGuard crash-point matrix
+# out of the CI budget; `go test ./...` still covers it.
+test-resume:
+	$(GO) test ./internal/persist/
+	$(GO) test -race -short -run 'Resume|Checkpoint' ./internal/fl/
+	$(GO) test -race -short -run 'KillResume|CrashPoint|Resume' ./internal/fednet/
+
 # trace-smoke is the end-to-end distributed-tracing gate: a 3-round
 # 4-client fault-injected federation (one hard straggler) with per-node
 # JSONL span logs, asserting fedtrace reconstructs every round as a
@@ -100,6 +122,7 @@ trace-smoke:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzReadMessage -fuzztime 10s ./internal/wire/
 	$(GO) test -run '^$$' -fuzz FuzzCodecRoundTrip -fuzztime 10s ./internal/codec/
+	$(GO) test -run '^$$' -fuzz FuzzReadCheckpoint -fuzztime 10s ./internal/persist/
 
 clean:
 	$(GO) clean ./...

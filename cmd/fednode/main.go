@@ -85,8 +85,21 @@ func main() {
 			"server: start once min-clients registered and this long has passed (0 = wait for all)")
 		redial = flag.Int("redial", 0,
 			"client: reconnection attempts after a broken session (0 = fail fast)")
+		ckptDir = flag.String("checkpoint-dir", "",
+			"server: persist a crash-safe run checkpoint to this directory after each round")
+		ckptEvery = flag.Int("checkpoint-every", 1,
+			"server: checkpoint cadence in rounds (with -checkpoint-dir)")
+		resume = flag.Bool("resume", false,
+			"server: resume from the checkpoint in -checkpoint-dir (cold start if absent); clients rejoin via -redial")
 	)
 	flag.Parse()
+
+	if *resume && *ckptDir == "" {
+		fatal(fmt.Errorf("-resume requires -checkpoint-dir"))
+	}
+	if *ckptEvery < 0 {
+		fatal(fmt.Errorf("-checkpoint-every = %d", *ckptEvery))
+	}
 
 	switch *mode {
 	case "client":
@@ -125,7 +138,8 @@ func main() {
 			Retries:         *retries,
 			RegisterTimeout: *registerTimeout,
 		}
-		if err := runServer(*listen, *preset, *scenario, *strategy, *events, *debugAddr, *compress, *trace, *streamAudit, ft); err != nil {
+		ck := checkpointing{Dir: *ckptDir, Every: *ckptEvery, Resume: *resume}
+		if err := runServer(*listen, *preset, *scenario, *strategy, *events, *debugAddr, *compress, *trace, *streamAudit, ft, ck); err != nil {
 			fatal(err)
 		}
 	default:
@@ -143,7 +157,15 @@ type faultTolerance struct {
 	RegisterTimeout time.Duration
 }
 
-func runServer(listen, preset, scenarioID, strategyName, events, debugAddr string, compress, trace, streamAudit bool, ft faultTolerance) error {
+// checkpointing carries the server's crash-recovery knobs from flags to
+// fednet.Config.
+type checkpointing struct {
+	Dir    string
+	Every  int
+	Resume bool
+}
+
+func runServer(listen, preset, scenarioID, strategyName, events, debugAddr string, compress, trace, streamAudit bool, ft faultTolerance, ck checkpointing) error {
 	setup, err := experiment.NewSetup(experiment.Preset(preset))
 	if err != nil {
 		return err
@@ -220,6 +242,10 @@ func runServer(listen, preset, scenarioID, strategyName, events, debugAddr strin
 		Compress:    compress,
 		Trace:       trace,
 		StreamAudit: streamAudit,
+
+		CheckpointDir:   ck.Dir,
+		CheckpointEvery: ck.Every,
+		Resume:          ck.Resume,
 	}
 	test := dataset.Generate(setup.TestSize, dataset.DefaultGenOptions(),
 		rng.New(rng.DeriveSeed(setup.Seed, "testdata", 0)))

@@ -34,6 +34,9 @@ func main() {
 		samples   = flag.Int("samples", 0, "override FedGuard synthetic sample count t (0 = preset value)")
 		workers   = flag.Int("workers", 0, "concurrent client trainers (0 = GOMAXPROCS)")
 		streamAud = flag.Bool("stream-audit", false, "audit each update as it lands instead of after the round barrier (bit-identical results)")
+		ckptDir   = flag.String("checkpoint-dir", "", "persist a crash-safe run checkpoint to this directory after each round")
+		ckptEvery = flag.Int("checkpoint-every", 1, "checkpoint cadence in rounds (with -checkpoint-dir)")
+		resume    = flag.Bool("resume", false, "resume from the checkpoint in -checkpoint-dir (cold start if absent)")
 		csv       = flag.Bool("csv", false, "emit the per-round accuracy series as CSV on stdout")
 		confusion = flag.Bool("confusion", false, "print the final model's confusion matrix on the test set")
 		save      = flag.String("save", "", "write the final global model checkpoint to this path")
@@ -67,6 +70,12 @@ func main() {
 	if *compress {
 		fmt.Fprintln(os.Stderr,
 			"fedsim: -compress has no effect in-process (nothing crosses a socket); use fednode for compressed networked runs")
+	}
+	if *resume && *ckptDir == "" {
+		fatal(fmt.Errorf("-resume requires -checkpoint-dir"))
+	}
+	if *ckptEvery < 0 {
+		fatal(fmt.Errorf("-checkpoint-every = %d", *ckptEvery))
 	}
 
 	if *list {
@@ -117,10 +126,13 @@ func main() {
 	}
 
 	res, err := experiment.Run(setup, sc, *strategy, experiment.RunOptions{
-		ServerLR:    *serverLR,
-		Seed:        *seed,
-		Telemetry:   tel,
-		StreamAudit: *streamAud,
+		ServerLR:        *serverLR,
+		Seed:            *seed,
+		Telemetry:       tel,
+		StreamAudit:     *streamAud,
+		CheckpointDir:   *ckptDir,
+		CheckpointEvery: *ckptEvery,
+		Resume:          *resume,
 		OnRound: func(rec fl.RoundRecord) {
 			fmt.Fprintf(os.Stderr, "round %3d  acc=%.4f  malicious-sampled=%d/%d  %.2fs",
 				rec.Round, rec.TestAccuracy, rec.MaliciousSampled, len(rec.Sampled), rec.Seconds)

@@ -1,10 +1,12 @@
 package experiment
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
 	"fedguard/internal/fl"
+	"fedguard/internal/persist"
 	"fedguard/internal/telemetry"
 )
 
@@ -44,6 +46,18 @@ type RunOptions struct {
 	// instead of waiting for the round barrier. Bit-identical results
 	// either way; this only reorders the server's compute.
 	StreamAudit bool
+	// CheckpointDir enables crash-safe round checkpointing when non-empty:
+	// the full federation state (global weights, RNG streams, history,
+	// client CVAE decoders) is atomically persisted after each
+	// CheckpointEvery-th round, and a later run with Resume continues
+	// from it with bit-identical results.
+	CheckpointDir string
+	// CheckpointEvery is the checkpoint cadence in rounds (<= 0 = every
+	// round); meaningful only with CheckpointDir.
+	CheckpointEvery int
+	// Resume loads CheckpointDir's checkpoint and continues the run from
+	// the round after it. A missing checkpoint means a cold start.
+	Resume bool
 }
 
 // Run executes one (setup, scenario, strategy) cell and returns its
@@ -97,13 +111,43 @@ func Run(setup Setup, sc Scenario, strategyName string, opts RunOptions) (*Resul
 	if sc.MaliciousFraction > 0 {
 		cfg.Attack = att
 	}
+	if opts.CheckpointDir != "" {
+		dir := opts.CheckpointDir
+		cfg.CheckpointEvery = opts.CheckpointEvery
+		cfg.CheckpointSink = func(ck *fl.Checkpoint) (string, int64, error) {
+			return persist.SaveCheckpoint(dir, ck)
+		}
+	}
 	fed, err := fl.NewFederation(train, test, cfg)
 	if err != nil {
 		return nil, err
 	}
-	h, err := fed.Run(strat, opts.OnRound)
-	if err != nil {
-		return nil, err
+	var h *fl.History
+	if opts.Resume {
+		if opts.CheckpointDir == "" {
+			return nil, fmt.Errorf("experiment: Resume requires CheckpointDir")
+		}
+		ck, err := persist.LoadCheckpoint(opts.CheckpointDir)
+		switch {
+		case errors.Is(err, persist.ErrNoCheckpoint):
+			// Nothing written yet: a resume-requested run starts cold.
+			h, err = fed.Run(strat, opts.OnRound)
+			if err != nil {
+				return nil, err
+			}
+		case err != nil:
+			return nil, fmt.Errorf("experiment: loading checkpoint: %w", err)
+		default:
+			h, err = fed.Resume(strat, ck, opts.OnRound)
+			if err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		h, err = fed.Run(strat, opts.OnRound)
+		if err != nil {
+			return nil, err
+		}
 	}
 	return &Result{Scenario: sc, Strategy: strategyName, History: h, LastN: setup.LastN}, nil
 }

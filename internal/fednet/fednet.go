@@ -33,10 +33,14 @@
 package fednet
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"math"
 	"net"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -48,6 +52,7 @@ import (
 	"fedguard/internal/cvae"
 	"fedguard/internal/dataset"
 	"fedguard/internal/fl"
+	"fedguard/internal/persist"
 	"fedguard/internal/rng"
 	"fedguard/internal/telemetry"
 	"fedguard/internal/wire"
@@ -128,6 +133,25 @@ type Config struct {
 	// back to the batch computation internally. false keeps the strict
 	// barrier ordering.
 	StreamAudit bool
+
+	// CheckpointDir enables crash-safe round checkpointing when non-empty:
+	// after each completed round (at CheckpointEvery cadence) the server
+	// atomically persists the run state — global weights, round index,
+	// server RNG stream, accumulated history, and the decoder dedup cache
+	// — to CheckpointDir. A server restarted with Resume continues from
+	// the last checkpointed round; as long as the client processes
+	// survived (their private random streams live client-side), the
+	// resumed run's final weights are bit-identical to an uninterrupted
+	// one.
+	CheckpointDir string
+	// CheckpointEvery is the checkpoint cadence in rounds (<= 0 means
+	// every round). Only meaningful with CheckpointDir set.
+	CheckpointEvery int
+	// Resume loads the checkpoint in CheckpointDir at startup and
+	// continues from the round after it. A missing checkpoint means a
+	// cold start; a checkpoint from a different seed, strategy, or
+	// federation shape is an error.
+	Resume bool
 }
 
 // tolerant reports whether graceful degradation is enabled.
@@ -195,6 +219,13 @@ type Server struct {
 	// Assigned once in Run before the rejoin accept loop starts, so that
 	// goroutine can parent rejoin spans onto it without synchronization.
 	runSpan *telemetry.Span
+
+	// kill simulates a server crash for recovery testing: Kill closes it
+	// (and every live connection), and the round loop exits with
+	// ErrKilled at the next round boundary without sending Shutdown
+	// frames — so resilient clients redial instead of exiting cleanly.
+	kill     chan struct{}
+	killOnce sync.Once
 }
 
 // decoderCache is one client's last-delivered decoder payload.
@@ -238,6 +269,9 @@ func NewServer(cfg Config, test *dataset.Dataset, strategy fl.Strategy) (*Server
 	if cfg.RetryBackoff == 0 {
 		cfg.RetryBackoff = 25 * time.Millisecond
 	}
+	if cfg.Resume && cfg.CheckpointDir == "" {
+		return nil, fmt.Errorf("fednet: Resume requires CheckpointDir")
+	}
 	probe := cfg.Experiment
 	probe.Attack = attack.None{} // instance irrelevant; satisfy validation
 	if probe.MaliciousFraction == 0 {
@@ -246,7 +280,39 @@ func NewServer(cfg Config, test *dataset.Dataset, strategy fl.Strategy) (*Server
 	if err := probe.Validate(); err != nil {
 		return nil, err
 	}
-	return &Server{cfg: cfg, test: test, strategy: strategy}, nil
+	return &Server{cfg: cfg, test: test, strategy: strategy, kill: make(chan struct{})}, nil
+}
+
+// ErrKilled is returned by Run when Kill interrupts the round loop — a
+// simulated server crash. The history returned alongside it holds the
+// rounds completed so far.
+var ErrKilled = errors.New("fednet: server killed")
+
+// Kill simulates a hard server crash mid-run: it interrupts the round
+// loop at the next round boundary and severs every live connection
+// WITHOUT sending Shutdown frames, so resilient clients treat it as a
+// transport failure and redial. Safe to call from any goroutine
+// (including an onRound callback) and idempotent. Combined with
+// CheckpointDir/Resume this is the crash-recovery test hook: kill after
+// round k, restart a server with Resume on the same listener address,
+// and the run finishes with bit-identical results.
+func (s *Server) Kill() {
+	s.killOnce.Do(func() {
+		close(s.kill)
+		for _, c := range s.snapshot() {
+			c.count.Close()
+		}
+	})
+}
+
+// killed reports whether Kill has fired.
+func (s *Server) killed() bool {
+	select {
+	case <-s.kill:
+		return true
+	default:
+		return false
+	}
 }
 
 // clientConn is one registered client's connection state.
@@ -309,6 +375,40 @@ func (s *Server) Run(ln net.Listener, onRound func(fl.RoundRecord)) (*fl.History
 	dcfg.Input = dataset.ImageH * dataset.ImageW
 	s.decoderSize = cvae.DecoderSize(dcfg)
 
+	// Load the resume checkpoint before accepting anyone: a mismatched
+	// checkpoint must fail fast, and the decoder dedup cache has to be
+	// warm before the first compressed request advertises hashes.
+	var resume *fl.Checkpoint
+	if s.cfg.Resume {
+		ck, err := persist.LoadCheckpoint(s.cfg.CheckpointDir)
+		switch {
+		case errors.Is(err, persist.ErrNoCheckpoint):
+			// Cold start: resume requested but nothing written yet.
+		case err != nil:
+			return nil, fmt.Errorf("fednet: loading checkpoint: %w", err)
+		default:
+			if err := fl.CheckResume(cfg, s.strategy.Name(), ck); err != nil {
+				return nil, err
+			}
+			if len(ck.Global) != len(s.initGlobal) {
+				return nil, fmt.Errorf("fednet: checkpoint global has %d params, model has %d",
+					len(ck.Global), len(s.initGlobal))
+			}
+			for _, d := range ck.Decoders {
+				// Hash-only entries (params not checkpointed) are useless
+				// here: a client resending a token needs the bytes back.
+				if len(d.Params) > 0 {
+					s.decoders[d.ID] = &decoderCache{
+						hash:   d.Hash,
+						params: append([]float32(nil), d.Params...),
+					}
+				}
+			}
+			s.round.Store(int64(ck.Round))
+			resume = ck
+		}
+	}
+
 	if err := s.register(ln); err != nil {
 		return nil, err
 	}
@@ -326,10 +426,15 @@ func (s *Server) Run(ln net.Listener, onRound func(fl.RoundRecord)) (*fl.History
 	s.runSpan = tel.StartRoot("run", telemetry.L("strategy", s.strategy.Name()))
 	defer func() {
 		for _, c := range s.snapshot() {
-			if s.cfg.tolerant() {
-				c.conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+			// A killed server crashes silently: no Shutdown frames, so
+			// resilient clients see a broken transport and redial the
+			// resumed server instead of exiting cleanly.
+			if !s.killed() {
+				if s.cfg.tolerant() {
+					c.conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+				}
+				c.send(&wire.Shutdown{})
 			}
-			c.send(&wire.Shutdown{})
 			// Closing the wrapper (not the raw conn) fires the counting
 			// hook, publishing each peer's final byte totals.
 			c.count.Close()
@@ -366,6 +471,14 @@ func (s *Server) Run(ln net.Listener, onRound func(fl.RoundRecord)) (*fl.History
 	needDecoders := s.strategy.NeedsDecoders()
 	history := &fl.History{Strategy: s.strategy.Name()}
 
+	startRound := 1
+	if resume != nil {
+		global = append([]float32(nil), resume.Global...)
+		serverRNG.SetState(resume.ServerRNG)
+		history.Rounds = append(history.Rounds, resume.Rounds...)
+		startRound = resume.Round + 1
+	}
+
 	tel.Emit(telemetry.RunStarted{
 		Strategy:          s.strategy.Name(),
 		NumClients:        cfg.NumClients,
@@ -375,12 +488,18 @@ func (s *Server) Run(ln net.Listener, onRound func(fl.RoundRecord)) (*fl.History
 		Attack:            s.cfg.AttackName,
 		MaliciousFraction: cfg.MaliciousFraction,
 	})
+	if resume != nil {
+		tel.Emit(telemetry.RunResumed{Round: resume.Round, Strategy: s.strategy.Name()})
+	}
 	runStart := time.Now()
 
 	// Snapshot the counters so registration/setup traffic is not charged
 	// to round 1.
 	lastRead, lastWritten := s.totalBytes()
-	for round := 1; round <= cfg.Rounds; round++ {
+	for round := startRound; round <= cfg.Rounds; round++ {
+		if s.killed() {
+			return history, ErrKilled
+		}
 		s.round.Store(int64(round))
 		trainStart := time.Now()
 		roundSpan := s.runSpan.Child("round", telemetry.L("round", strconv.Itoa(round)))
@@ -416,6 +535,10 @@ func (s *Server) Run(ln net.Listener, onRound func(fl.RoundRecord)) (*fl.History
 		if err != nil {
 			if stream != nil {
 				stream.Abort()
+			}
+			if s.killed() {
+				// The failures are our own severed connections.
+				return history, ErrKilled
 			}
 			return history, err
 		}
@@ -492,6 +615,14 @@ func (s *Server) Run(ln net.Listener, onRound func(fl.RoundRecord)) (*fl.History
 		roundSpan.End()
 		fl.RecordRound(tel, rec)
 		history.Rounds = append(history.Rounds, rec)
+		// Checkpoint BEFORE onRound: a crash inside the callback (the test
+		// harness's kill point) resumes at round+1 and never replays a
+		// round the caller already observed.
+		if s.cfg.CheckpointDir != "" && round%ckptEvery(s.cfg.CheckpointEvery) == 0 {
+			if err := s.writeCheckpoint(round, global, serverRNG, history); err != nil {
+				return history, err
+			}
+		}
 		if onRound != nil {
 			onRound(rec)
 		}
@@ -504,6 +635,53 @@ func (s *Server) Run(ln net.Listener, onRound func(fl.RoundRecord)) (*fl.History
 		TotalSeconds:  time.Since(runStart).Seconds(),
 	})
 	return history, nil
+}
+
+// ckptEvery normalizes the checkpoint cadence (<= 0 means every round).
+func ckptEvery(every int) int {
+	if every <= 0 {
+		return 1
+	}
+	return every
+}
+
+// writeCheckpoint atomically persists the run state after a completed
+// round: global weights, server RNG stream, accumulated history, and
+// the decoder dedup cache (bytes included, so a resumed server can
+// answer hash-only decoder tokens from rejoining clients). Client
+// RNG/decoder state lives in the client processes and is deliberately
+// NOT captured — networked resume relies on the clients surviving the
+// server crash and redialing.
+func (s *Server) writeCheckpoint(round int, global []float32, serverRNG *rng.RNG, history *fl.History) error {
+	tel := s.cfg.Telemetry
+	start := time.Now()
+	s.mu.Lock()
+	decs := make([]fl.DecoderState, 0, len(s.decoders))
+	for id, e := range s.decoders {
+		decs = append(decs, fl.DecoderState{
+			ID:     id,
+			Hash:   e.hash,
+			Params: append([]float32(nil), e.params...),
+		})
+	}
+	s.mu.Unlock()
+	sort.Slice(decs, func(i, j int) bool { return decs[i].ID < decs[j].ID })
+	path, n, err := persist.SaveCheckpoint(s.cfg.CheckpointDir, &fl.Checkpoint{
+		Round:     round,
+		Seed:      s.cfg.Experiment.Seed,
+		Strategy:  s.strategy.Name(),
+		Global:    append([]float32(nil), global...),
+		ServerRNG: serverRNG.State(),
+		Rounds:    history.Rounds,
+		Decoders:  decs,
+	})
+	if err != nil {
+		return fmt.Errorf("fednet: round %d checkpoint: %w", round, err)
+	}
+	secs := time.Since(start).Seconds()
+	tel.Observe(telemetry.CheckpointMetric, secs)
+	tel.Emit(telemetry.CheckpointWritten{Round: round, Path: path, Bytes: n, Seconds: secs})
+	return nil
 }
 
 // trainRound fans one round's work out to the sampled clients and
@@ -1256,6 +1434,58 @@ type ClientOptions struct {
 	// connection is wrapped for byte accounting so upload spans carry
 	// measured byte counts.
 	Telemetry *telemetry.T
+	// Session, when non-nil, carries the client's deterministic local
+	// state (private random stream, trained CVAE decoder, cached round
+	// responses) across redials. RunClientResilient supplies one
+	// automatically; without it every reconnection rebuilds the client
+	// from the seed, which breaks bit-identical resume after a server
+	// restart.
+	Session *ClientSession
+}
+
+// ClientSession preserves a client's state between connections. The
+// client object holds the private random stream and CVAE decoder whose
+// positions encode every round trained so far; the cached responses
+// answer duplicate requests (a resumed server re-asking for a round
+// this client already trained) without retraining — retraining would
+// advance the stream and diverge from the uninterrupted run.
+type ClientSession struct {
+	client   *fl.Client
+	sig      uint64
+	lastRaw  *wire.Update
+	lastComp *wire.UpdateC
+}
+
+// setupSig fingerprints the deterministic-state-defining fields of a
+// Setup message. Encodings is deliberately excluded: renegotiating
+// compression or tracing on a redial does not invalidate the client's
+// trained state.
+func setupSig(s *wire.Setup) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	w64 := func(v uint64) { binary.LittleEndian.PutUint64(b[:], v); h.Write(b[:]) }
+	ws := func(v string) { w64(uint64(len(v))); h.Write([]byte(v)) }
+	w64(s.Seed)
+	w64(s.DataSeed)
+	w64(uint64(s.TrainSize))
+	w64(uint64(len(s.Indices)))
+	for _, v := range s.Indices {
+		w64(uint64(v))
+	}
+	ws(s.ArchName)
+	w64(uint64(s.Epochs))
+	w64(uint64(s.BatchSize))
+	w64(math.Float64bits(s.LR))
+	w64(math.Float64bits(s.Momentum))
+	w64(uint64(s.CVAEHidden))
+	w64(uint64(s.CVAELatent))
+	w64(uint64(s.CVAEEpochs))
+	w64(uint64(s.CVAEBatch))
+	w64(math.Float64bits(s.CVAELR))
+	w64(uint64(s.NumClasses))
+	ws(s.Attack)
+	w64(s.AttackSeed)
+	return h.Sum64()
 }
 
 // RunClientResilient is RunClient with a reconnect loop: when the
@@ -1266,6 +1496,11 @@ func RunClientResilient(addr string, clientID int, opts ClientOptions) error {
 	backoff := opts.RedialBackoff
 	if backoff <= 0 {
 		backoff = 250 * time.Millisecond
+	}
+	if opts.Session == nil {
+		// State must survive redials: a rejoined client that rebuilt its
+		// random stream from the seed would repeat early-round draws.
+		opts.Session = &ClientSession{}
 	}
 	err := runClientOnce(addr, clientID, opts)
 	for attempt := 0; err != nil && attempt < opts.Redials; attempt++ {
@@ -1314,22 +1549,37 @@ func ServeClientOpts(conn net.Conn, clientID int, opts ClientOptions) error {
 		return fmt.Errorf("fednet: expected Setup, got %T", msg)
 	}
 
-	client, err := buildClient(clientID, setup)
-	if err != nil {
-		return err
+	// Reuse the session's client when its setup matches: the private
+	// random stream and trained decoder then carry over from previous
+	// connections, so a redial after a server crash resumes mid-stream
+	// instead of replaying from the seed. A session seeing this setup
+	// shape for the first time (or a changed one) builds fresh.
+	sess := opts.Session
+	if sess == nil {
+		sess = &ClientSession{}
+	}
+	sig := setupSig(setup)
+	client := sess.client
+	if client == nil || sess.sig != sig {
+		client, err = buildClient(clientID, setup)
+		if err != nil {
+			return err
+		}
+		*sess = ClientSession{client: client, sig: sig}
 	}
 	tel := opts.Telemetry
 	client.SetTelemetry(tel)
 	if opts.Compress && setup.Encodings&wire.CapCodec != 0 {
-		return serveCompressed(rw, clientID, setup, client, tel, count)
+		return serveCompressed(rw, clientID, setup, client, sess, tel, count)
 	}
 
-	// The last computed update, kept so a server re-request for the same
-	// round (after a timeout or a corrupt frame) is answered from cache:
-	// retraining would advance the client's private random stream and
-	// break the run's determinism. The cached frame includes its original
-	// trace context, so retries resend byte-identical frames.
-	var last *wire.Update
+	// The last computed update (session-cached, so it survives redials)
+	// answers a server re-request for the same round — after a timeout, a
+	// corrupt frame, or a crash-and-resume — from cache: retraining would
+	// advance the client's private random stream and break the run's
+	// determinism. The cached frame includes its original trace context,
+	// so retries resend byte-identical frames.
+	last := sess.lastRaw
 	for {
 		msg, err := wire.ReadMessage(rw)
 		if err != nil {
@@ -1371,6 +1621,7 @@ func ServeClientOpts(conn net.Conn, clientID int, opts ClientOptions) error {
 			}
 			resp.Trace = wireTrace(sp.Context())
 			last = resp
+			sess.lastRaw = resp
 			err := uploadSpanned(rw, resp, sp, count)
 			sp.End()
 			if err != nil {
@@ -1427,16 +1678,18 @@ func uploadSpanned(w io.Writer, msg any, parent *telemetry.Span, count *wire.Cou
 // encodings. The client mirrors the server's per-connection reference
 // state: it starts from the locally derived ψ₀ and advances its delta
 // base exactly once per distinct round — a duplicate request (the
-// server retrying after a timeout or corrupt frame) is answered from
-// the cached response without decoding, so the base never moves twice.
-func serveCompressed(rw io.ReadWriter, clientID int, setup *wire.Setup, client *fl.Client, tel *telemetry.T, count *wire.CountingConn) error {
+// server retrying after a timeout or corrupt frame, or a resumed server
+// re-asking for a round trained before a redial) is answered from the
+// session-cached response without retraining, so the random stream
+// never moves twice for one round.
+func serveCompressed(rw io.ReadWriter, clientID int, setup *wire.Setup, client *fl.Client, sess *ClientSession, tel *telemetry.T, count *wire.CountingConn) error {
 	arch, err := classifier.ByName(setup.ArchName)
 	if err != nil {
 		return err
 	}
 	base := fl.InitialGlobalFrom(arch, setup.Seed) // ψ₀, round 0
 	baseRound := uint32(0)
-	var last *wire.UpdateC
+	last := sess.lastComp
 	for {
 		msg, err := wire.ReadMessage(rw)
 		if err != nil {
@@ -1447,6 +1700,37 @@ func serveCompressed(rw io.ReadWriter, clientID int, setup *wire.Setup, client *
 			if last != nil && last.Round == m.Round {
 				sp := tel.StartRemote(spanCtx(m.Trace), "client.round",
 					clientRoundLabels(clientID, m.Round, true)...)
+				// A same-connection retry already advanced our base when the
+				// round was first handled (baseRound == m.Round): resend as
+				// is. A cross-connection duplicate — a resumed server
+				// re-requesting a round trained before the redial — still
+				// has to decode the broadcast, because it advances this
+				// connection's delta base to the round's global, which the
+				// server's next request will delta against.
+				if baseRound != m.Round {
+					var global []float32
+					switch m.Encoding {
+					case wire.EncDelta:
+						if m.BaseRound != baseRound {
+							sp.End()
+							return fmt.Errorf("fednet: client %d: delta base round %d, holding %d",
+								clientID, m.BaseRound, baseRound)
+						}
+						global, err = codec.DecodeDelta(m.Payload, base)
+					case wire.EncCodec:
+						global, err = codec.Decode(m.Payload, int(m.NumParams))
+					default:
+						err = fmt.Errorf("unknown encoding %d", m.Encoding)
+					}
+					if err == nil && len(global) != int(m.NumParams) {
+						err = fmt.Errorf("decoded %d params, header says %d", len(global), m.NumParams)
+					}
+					if err != nil {
+						sp.End()
+						return fmt.Errorf("fednet: client %d broadcast: %w", clientID, err)
+					}
+					base, baseRound = global, m.Round
+				}
 				err := wire.WriteMessage(rw, last)
 				sp.End()
 				if err != nil {
@@ -1512,6 +1796,7 @@ func serveCompressed(rw io.ReadWriter, clientID int, setup *wire.Setup, client *
 			resp.Trace = wireTrace(sp.Context())
 			base, baseRound = global, m.Round
 			last = resp
+			sess.lastComp = resp
 			err = uploadSpanned(rw, resp, sp, count)
 			sp.End()
 			if err != nil {

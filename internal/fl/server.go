@@ -53,6 +53,15 @@ type FederationConfig struct {
 	// Results are byte-identical either way; false keeps the pure
 	// barrier-then-aggregate ordering.
 	StreamAudit bool
+	// CheckpointSink, when non-nil, receives a full resumable snapshot
+	// after every CheckpointEvery-th round, before onRound fires — so a
+	// crash anywhere after round k's snapshot resumes at k+1. A sink
+	// error aborts the run: silently continuing would let the run outlive
+	// its own durability guarantee.
+	CheckpointSink CheckpointSink
+	// CheckpointEvery is the snapshot cadence in rounds (<= 0 means every
+	// round when a sink is set).
+	CheckpointEvery int
 	// TestSubset limits per-round evaluation to the first k test examples
 	// (0 = the whole test set).
 	TestSubset int
@@ -155,6 +164,23 @@ func (f *Federation) Config() FederationConfig { return f.cfg }
 // the full history. onRound, if non-nil, is invoked after every round
 // with the fresh record (for live progress output).
 func (f *Federation) Run(strategy Strategy, onRound func(RoundRecord)) (*History, error) {
+	return f.run(strategy, onRound, nil)
+}
+
+// Resume continues a run from a checkpoint taken by a CheckpointSink:
+// client streams, the server stream, ψ and the dedup state are restored
+// and rounds continue at ck.Round+1. The remaining rounds — and the
+// FinalWeights — are byte-identical to an uninterrupted run, because
+// every piece of state that feeds a random draw or an aggregation is
+// either re-derived from the seed or carried in the checkpoint.
+func (f *Federation) Resume(strategy Strategy, ck *Checkpoint, onRound func(RoundRecord)) (*History, error) {
+	if err := CheckResume(f.cfg, strategy.Name(), ck); err != nil {
+		return nil, err
+	}
+	return f.run(strategy, onRound, ck)
+}
+
+func (f *Federation) run(strategy Strategy, onRound func(RoundRecord), resume *Checkpoint) (*History, error) {
 	cfg := f.cfg
 	// All streams are derived from the experiment seed by domain tag so a
 	// distributed deployment (package fednet) can reconstruct any client's
@@ -198,6 +224,27 @@ func (f *Federation) Run(strategy Strategy, onRound func(RoundRecord)) (*History
 	// networked deployment implements for real.
 	decoderHashes := make(map[int]uint64, cfg.NumClients)
 
+	startRound := 1
+	if resume != nil {
+		if len(resume.Global) != len(global) {
+			return nil, fmt.Errorf("fl: checkpoint holds %d parameters, architecture has %d",
+				len(resume.Global), len(global))
+		}
+		global = append([]float32(nil), resume.Global...)
+		serverRNG.SetState(resume.ServerRNG)
+		history.Rounds = append(history.Rounds, resume.Rounds...)
+		for _, st := range resume.Clients {
+			if st.ID < 0 || st.ID >= len(clients) {
+				return nil, fmt.Errorf("fl: checkpoint client %d outside 0..%d", st.ID, len(clients)-1)
+			}
+			clients[st.ID].RestoreState(st)
+		}
+		for _, d := range resume.Decoders {
+			decoderHashes[d.ID] = d.Hash
+		}
+		startRound = resume.Round + 1
+	}
+
 	tel := cfg.Telemetry
 	attackName := ""
 	if cfg.Attack != nil {
@@ -212,6 +259,9 @@ func (f *Federation) Run(strategy Strategy, onRound func(RoundRecord)) (*History
 		Attack:            attackName,
 		MaliciousFraction: cfg.MaliciousFraction,
 	})
+	if resume != nil {
+		tel.Emit(telemetry.RunResumed{Round: resume.Round, Strategy: strategy.Name()})
+	}
 	runStart := time.Now()
 	// Root of the run's trace (nil — and free — unless EnableTracing was
 	// called on the bundle). The in-process topology mirrors the
@@ -219,7 +269,7 @@ func (f *Federation) Run(strategy Strategy, onRound func(RoundRecord)) (*History
 	// cmd/fedtrace reads both the same way.
 	runSpan := tel.StartRoot("run", telemetry.L("strategy", strategy.Name()))
 
-	for round := 1; round <= cfg.Rounds; round++ {
+	for round := startRound; round <= cfg.Rounds; round++ {
 		trainStart := time.Now()
 		roundSpan := runSpan.Child("round", telemetry.L("round", strconv.Itoa(round)))
 
@@ -334,6 +384,28 @@ func (f *Federation) Run(strategy Strategy, onRound func(RoundRecord)) (*History
 		roundSpan.End()
 		RecordRound(tel, rec)
 		history.Rounds = append(history.Rounds, rec)
+		// Snapshot BEFORE onRound: a crash inside the callback (or any
+		// time after it) then resumes at round+1, never replaying a round
+		// the caller already observed.
+		if cfg.CheckpointSink != nil && round%checkpointEvery(cfg.CheckpointEvery) == 0 {
+			ckStart := time.Now()
+			path, n, err := cfg.CheckpointSink(&Checkpoint{
+				Round:     round,
+				Seed:      cfg.Seed,
+				Strategy:  strategy.Name(),
+				Global:    append([]float32(nil), global...),
+				ServerRNG: serverRNG.State(),
+				Rounds:    history.Rounds,
+				Decoders:  decoderStates(decoderHashes),
+				Clients:   captureClients(clients),
+			})
+			if err != nil {
+				return history, fmt.Errorf("fl: round %d checkpoint: %w", round, err)
+			}
+			secs := time.Since(ckStart).Seconds()
+			tel.Observe(telemetry.CheckpointMetric, secs)
+			tel.Emit(telemetry.CheckpointWritten{Round: round, Path: path, Bytes: n, Seconds: secs})
+		}
 		if onRound != nil {
 			onRound(rec)
 		}

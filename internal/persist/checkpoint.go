@@ -1,0 +1,509 @@
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"fedguard/internal/fl"
+	"fedguard/internal/rng"
+)
+
+// Checkpoint file format, version 1. Everything is little-endian:
+//
+//	[4B magic "FdGC"][4B version][4B payload length][4B CRC-32C(payload)]
+//	payload:
+//	  u64 seed · u32 round · str strategy · rng server stream
+//	  u32 n · n×f32 global
+//	  u32 n · n×record history rounds
+//	  u32 n · n×entry decoder cache (id, hash, params)
+//	  u32 n · n×entry client state (id, rng, counters, decoder, classes)
+//
+// where str is u32 length + bytes, rng is 4×u64 + u8 + f64, and map
+// entries are written in sorted key order — checkpoint bytes are a pure
+// function of the run state, which is what makes golden pins possible.
+// The CRC guards the whole payload: a torn or bit-flipped file is
+// rejected as corrupt rather than resumed from.
+const (
+	checkpointMagic   = 0x46644743 // "FdGC"
+	checkpointVersion = 1
+	// maxCheckpointBytes guards corrupt headers; real checkpoints are a
+	// few MB even at the paper's 100-client scale.
+	maxCheckpointBytes = 1 << 30
+	// allocChunk bounds how far any allocation runs ahead of bytes
+	// actually read, so a hostile length prefix costs at most 1 MiB
+	// before truncation is detected (same policy as the wire framing).
+	allocChunk = 1 << 20
+)
+
+// CheckpointFile is the name SaveCheckpoint uses inside its directory.
+const CheckpointFile = "checkpoint.fgc"
+
+// ErrNoCheckpoint reports that the checkpoint directory holds no
+// checkpoint yet — the caller should start the run fresh.
+var ErrNoCheckpoint = errors.New("persist: no checkpoint")
+
+// ErrCorruptCheckpoint reports a checkpoint that failed structural or
+// CRC validation. A resume must not proceed from such a file.
+var ErrCorruptCheckpoint = errors.New("persist: corrupt checkpoint")
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// WriteCheckpoint serializes a checkpoint to w and returns the number of
+// bytes written (header included).
+func WriteCheckpoint(w io.Writer, ck *fl.Checkpoint) (int64, error) {
+	payload := appendCheckpoint(nil, ck)
+	if len(payload) > maxCheckpointBytes {
+		return 0, fmt.Errorf("persist: checkpoint payload %d bytes exceeds %d", len(payload), maxCheckpointBytes)
+	}
+	var header [16]byte
+	binary.LittleEndian.PutUint32(header[0:], checkpointMagic)
+	binary.LittleEndian.PutUint32(header[4:], checkpointVersion)
+	binary.LittleEndian.PutUint32(header[8:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(header[12:], crc32.Checksum(payload, crcTable))
+	if _, err := w.Write(header[:]); err != nil {
+		return 0, fmt.Errorf("persist: writing checkpoint header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return 0, fmt.Errorf("persist: writing checkpoint payload: %w", err)
+	}
+	return int64(len(header) + len(payload)), nil
+}
+
+// ReadCheckpoint deserializes a checkpoint written by WriteCheckpoint,
+// verifying the CRC before decoding. Corruption of any kind — bad
+// magic, truncation, flipped bits, trailing garbage, implausible
+// lengths — returns an error wrapping ErrCorruptCheckpoint (except a
+// valid-but-newer version, which is its own error).
+func ReadCheckpoint(r io.Reader) (*fl.Checkpoint, error) {
+	var header [16]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading header: %v", ErrCorruptCheckpoint, err)
+	}
+	if magic := binary.LittleEndian.Uint32(header[0:]); magic != checkpointMagic {
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrCorruptCheckpoint, magic)
+	}
+	if version := binary.LittleEndian.Uint32(header[4:]); version != checkpointVersion {
+		return nil, fmt.Errorf("persist: unsupported checkpoint version %d", version)
+	}
+	n := binary.LittleEndian.Uint32(header[8:])
+	if n > maxCheckpointBytes {
+		return nil, fmt.Errorf("%w: implausible payload length %d", ErrCorruptCheckpoint, n)
+	}
+	payload, err := readChunked(r, int(n))
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading payload: %v", ErrCorruptCheckpoint, err)
+	}
+	if got, want := crc32.Checksum(payload, crcTable), binary.LittleEndian.Uint32(header[12:]); got != want {
+		return nil, fmt.Errorf("%w: CRC mismatch (got %#x, want %#x)", ErrCorruptCheckpoint, got, want)
+	}
+	d := &ckDecoder{b: payload}
+	ck := d.checkpoint()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(d.b) {
+		return nil, fmt.Errorf("%w: %d trailing payload bytes", ErrCorruptCheckpoint, len(d.b)-d.off)
+	}
+	return ck, nil
+}
+
+// CheckpointPath returns the file SaveCheckpoint writes inside dir.
+func CheckpointPath(dir string) string { return filepath.Join(dir, CheckpointFile) }
+
+// SaveCheckpoint atomically persists a checkpoint into dir: the bytes go
+// to a temporary file first, are fsynced, and only then renamed over the
+// previous checkpoint. A crash at any point leaves either the old or the
+// new checkpoint fully intact — never a torn file that LoadCheckpoint
+// would accept.
+func SaveCheckpoint(dir string, ck *fl.Checkpoint) (path string, bytes int64, err error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", 0, err
+	}
+	path = CheckpointPath(dir)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return "", 0, err
+	}
+	n, err := WriteCheckpoint(f, ck)
+	if err == nil {
+		// The fsync is the crash-safety linchpin: without it the rename
+		// can land before the data, and a power cut leaves a valid-looking
+		// name over empty blocks.
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return "", 0, err
+	}
+	syncDir(dir)
+	return path, n, nil
+}
+
+// syncDir best-effort fsyncs a directory so a just-completed rename is
+// durable. Errors are ignored: some filesystems reject directory syncs,
+// and the rename's atomicity does not depend on it.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// LoadCheckpoint reads dir's checkpoint. A directory with no checkpoint
+// returns ErrNoCheckpoint (distinguishing "fresh start" from "broken
+// state"); anything unreadable or failing validation is an error.
+func LoadCheckpoint(dir string) (*fl.Checkpoint, error) {
+	f, err := os.Open(CheckpointPath(dir))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, ErrNoCheckpoint
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCheckpoint(f)
+}
+
+// readChunked reads exactly n bytes, growing the buffer at most
+// allocChunk ahead of the bytes actually received (the wire framing's
+// hostile-length policy).
+func readChunked(r io.Reader, n int) ([]byte, error) {
+	if n <= allocChunk {
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	}
+	buf := make([]byte, 0, allocChunk)
+	for len(buf) < n {
+		k := allocChunk
+		if rest := n - len(buf); rest < k {
+			k = rest
+		}
+		off := len(buf)
+		buf = append(buf, make([]byte, k)...)
+		if _, err := io.ReadFull(r, buf[off:]); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// --- payload encoding ---
+
+func appendU8(b []byte, v uint8) []byte { return append(b, v) }
+
+func appendU32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+func appendF64(b []byte, v float64) []byte {
+	return appendU64(b, math.Float64bits(v))
+}
+
+func appendStr(b []byte, s string) []byte {
+	b = appendU32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+func appendF32s(b []byte, vs []float32) []byte {
+	b = appendU32(b, uint32(len(vs)))
+	for _, v := range vs {
+		b = appendU32(b, math.Float32bits(v))
+	}
+	return b
+}
+
+func appendInts(b []byte, vs []int) []byte {
+	b = appendU32(b, uint32(len(vs)))
+	for _, v := range vs {
+		b = appendU32(b, uint32(v))
+	}
+	return b
+}
+
+func appendRNG(b []byte, s rng.State) []byte {
+	b = appendU64(b, s.Hi)
+	b = appendU64(b, s.Lo)
+	b = appendU64(b, s.IncHi)
+	b = appendU64(b, s.IncLo)
+	var g uint8
+	if s.HaveGauss {
+		g = 1
+	}
+	b = appendU8(b, g)
+	return appendF64(b, s.Gauss)
+}
+
+func appendRecord(b []byte, rec *fl.RoundRecord) []byte {
+	b = appendU32(b, uint32(rec.Round))
+	b = appendF64(b, rec.TestAccuracy)
+	b = appendF64(b, rec.Seconds)
+	b = appendF64(b, rec.TrainSeconds)
+	b = appendF64(b, rec.AggregateSeconds)
+	b = appendF64(b, rec.EvalSeconds)
+	b = appendU64(b, uint64(rec.UploadBytes))
+	b = appendU64(b, uint64(rec.DownloadBytes))
+	b = appendU64(b, uint64(rec.WireUploadBytes))
+	b = appendU64(b, uint64(rec.WireDownloadBytes))
+	b = appendInts(b, rec.Sampled)
+	b = appendU32(b, uint32(rec.MaliciousSampled))
+	b = appendInts(b, rec.Dropped)
+	keys := make([]string, 0, len(rec.Report))
+	for k := range rec.Report {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	b = appendU32(b, uint32(len(keys)))
+	for _, k := range keys {
+		b = appendStr(b, k)
+		b = appendF64(b, rec.Report[k])
+	}
+	return b
+}
+
+func appendCheckpoint(b []byte, ck *fl.Checkpoint) []byte {
+	b = appendU64(b, ck.Seed)
+	b = appendU32(b, uint32(ck.Round))
+	b = appendStr(b, ck.Strategy)
+	b = appendRNG(b, ck.ServerRNG)
+	b = appendF32s(b, ck.Global)
+	b = appendU32(b, uint32(len(ck.Rounds)))
+	for i := range ck.Rounds {
+		b = appendRecord(b, &ck.Rounds[i])
+	}
+	b = appendU32(b, uint32(len(ck.Decoders)))
+	for i := range ck.Decoders {
+		d := &ck.Decoders[i]
+		b = appendU32(b, uint32(d.ID))
+		b = appendU64(b, d.Hash)
+		b = appendF32s(b, d.Params)
+	}
+	b = appendU32(b, uint32(len(ck.Clients)))
+	for i := range ck.Clients {
+		c := &ck.Clients[i]
+		b = appendU32(b, uint32(c.ID))
+		b = appendRNG(b, c.RNG)
+		b = appendU32(b, uint32(c.Visible))
+		b = appendU32(b, uint32(c.SinceCVAETrain))
+		b = appendF32s(b, c.Decoder)
+		b = appendInts(b, c.DecoderClasses)
+	}
+	return b
+}
+
+// --- payload decoding ---
+
+// ckDecoder walks a fully-read, CRC-verified payload. Every count is
+// validated against the bytes remaining BEFORE any allocation, so even
+// a payload that passes the CRC (e.g. crafted by a fuzzer) can never
+// make a slice allocation exceed the payload it arrived in.
+type ckDecoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *ckDecoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: "+format, append([]any{ErrCorruptCheckpoint}, args...)...)
+	}
+}
+
+// need reports whether n more bytes are available, recording an error
+// when they are not.
+func (d *ckDecoder) need(n int) bool {
+	if d.err != nil {
+		return false
+	}
+	if n < 0 || len(d.b)-d.off < n {
+		d.fail("truncated payload at offset %d (need %d bytes)", d.off, n)
+		return false
+	}
+	return true
+}
+
+func (d *ckDecoder) u8() uint8 {
+	if !d.need(1) {
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *ckDecoder) u32() uint32 {
+	if !d.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *ckDecoder) u64() uint64 {
+	if !d.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *ckDecoder) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *ckDecoder) str() string {
+	n := int(d.u32())
+	if !d.need(n) {
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+func (d *ckDecoder) f32s() []float32 {
+	n := int(d.u32())
+	if !d.need(4 * n) {
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(d.b[d.off:]))
+		d.off += 4
+	}
+	return out
+}
+
+func (d *ckDecoder) ints() []int {
+	n := int(d.u32())
+	if !d.need(4 * n) {
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(int32(binary.LittleEndian.Uint32(d.b[d.off:])))
+		d.off += 4
+	}
+	return out
+}
+
+func (d *ckDecoder) rngState() rng.State {
+	return rng.State{
+		Hi:        d.u64(),
+		Lo:        d.u64(),
+		IncHi:     d.u64(),
+		IncLo:     d.u64(),
+		HaveGauss: d.u8() != 0,
+		Gauss:     d.f64(),
+	}
+}
+
+// count reads a element count and bounds it by the bytes remaining at
+// minSize per element, so slice-of-struct allocations stay within the
+// payload.
+func (d *ckDecoder) count(minSize int) int {
+	n := int(d.u32())
+	if d.err != nil {
+		return 0
+	}
+	if rem := len(d.b) - d.off; n > rem/minSize {
+		d.fail("element count %d exceeds remaining %d bytes", n, rem)
+		return 0
+	}
+	return n
+}
+
+func (d *ckDecoder) record() fl.RoundRecord {
+	rec := fl.RoundRecord{
+		Round:             int(d.u32()),
+		TestAccuracy:      d.f64(),
+		Seconds:           d.f64(),
+		TrainSeconds:      d.f64(),
+		AggregateSeconds:  d.f64(),
+		EvalSeconds:       d.f64(),
+		UploadBytes:       int64(d.u64()),
+		DownloadBytes:     int64(d.u64()),
+		WireUploadBytes:   int64(d.u64()),
+		WireDownloadBytes: int64(d.u64()),
+		Sampled:           d.ints(),
+	}
+	rec.MaliciousSampled = int(d.u32())
+	rec.Dropped = d.ints()
+	n := d.count(12) // min per entry: empty key (4) + f64 (8)
+	// Always non-nil: live records carry the round context's (possibly
+	// empty) report map, and restored history must compare equal to it.
+	rec.Report = make(map[string]float64, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		k := d.str()
+		rec.Report[k] = d.f64()
+	}
+	return rec
+}
+
+func (d *ckDecoder) checkpoint() *fl.Checkpoint {
+	ck := &fl.Checkpoint{
+		Seed:      d.u64(),
+		Round:     int(d.u32()),
+		Strategy:  d.str(),
+		ServerRNG: d.rngState(),
+		Global:    d.f32s(),
+	}
+	// Min sizes below are the smallest legal encodings of each element
+	// (all variable-length parts empty).
+	if n := d.count(92); n > 0 { // record: 4 + 5*8 + 4*8 + 4*4 = 92
+		ck.Rounds = make([]fl.RoundRecord, 0, n)
+		for i := 0; i < n && d.err == nil; i++ {
+			ck.Rounds = append(ck.Rounds, d.record())
+		}
+	}
+	if n := d.count(16); n > 0 { // decoder: id(4) + hash(8) + count(4)
+		ck.Decoders = make([]fl.DecoderState, 0, n)
+		for i := 0; i < n && d.err == nil; i++ {
+			ck.Decoders = append(ck.Decoders, fl.DecoderState{
+				ID:     int(d.u32()),
+				Hash:   d.u64(),
+				Params: d.f32s(),
+			})
+		}
+	}
+	if n := d.count(61); n > 0 { // client: id(4) + rng(41) + 2*4 + 2*4
+		ck.Clients = make([]fl.ClientState, 0, n)
+		for i := 0; i < n && d.err == nil; i++ {
+			ck.Clients = append(ck.Clients, fl.ClientState{
+				ID:             int(d.u32()),
+				RNG:            d.rngState(),
+				Visible:        int(d.u32()),
+				SinceCVAETrain: int(d.u32()),
+				Decoder:        d.f32s(),
+				DecoderClasses: d.ints(),
+			})
+		}
+	}
+	return ck
+}

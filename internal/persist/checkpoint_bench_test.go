@@ -1,0 +1,86 @@
+package persist
+
+import (
+	"io"
+	"testing"
+
+	"fedguard/internal/fl"
+	"fedguard/internal/rng"
+)
+
+// benchCheckpoint mirrors a quick-preset FedGuard run mid-flight: a
+// Tiny-scale global vector, a dozen round records, and per-client
+// decoder payloads — the realistic per-round serialization cost a
+// -checkpoint-dir run pays.
+func benchCheckpoint() *fl.Checkpoint {
+	r := rng.New(3)
+	global := make([]float32, 25450) // Tiny arch parameter count
+	for i := range global {
+		global[i] = r.NormFloat32()
+	}
+	decoder := make([]float32, 13328) // CVAE decoder payload at quick scale
+	for i := range decoder {
+		decoder[i] = r.NormFloat32()
+	}
+	ck := &fl.Checkpoint{
+		Round:     12,
+		Seed:      42,
+		Strategy:  "FedGuard",
+		Global:    global,
+		ServerRNG: r.State(),
+	}
+	for round := 1; round <= 12; round++ {
+		ck.Rounds = append(ck.Rounds, fl.RoundRecord{
+			Round: round, TestAccuracy: 0.7, Seconds: 2,
+			TrainSeconds: 1.5, AggregateSeconds: 0.3, EvalSeconds: 0.2,
+			UploadBytes: 814400, DownloadBytes: 1629000,
+			WireUploadBytes: 290000, WireDownloadBytes: 410000,
+			Sampled: []int{0, 3, 7, 9, 11, 2, 5, 14}, MaliciousSampled: 2,
+			Report: map[string]float64{fl.ReportFedGuardExcluded: 2},
+		})
+	}
+	for id := 0; id < 16; id++ {
+		ck.Clients = append(ck.Clients, fl.ClientState{
+			ID: id, RNG: rng.New(uint64(id)).State(),
+			Visible: 150, SinceCVAETrain: 3,
+			Decoder:        decoder,
+			DecoderClasses: []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9},
+		})
+		ck.Decoders = append(ck.Decoders, fl.DecoderState{ID: id, Hash: uint64(id) * 7919})
+	}
+	return ck
+}
+
+// BenchmarkCheckpointWrite measures pure serialization cost (no disk),
+// the part that scales with model and federation size and is guarded by
+// BENCH_guard.json. Disk cost is fsync-dominated and machine-specific,
+// so the guard pins the compute side only.
+func BenchmarkCheckpointWrite(b *testing.B) {
+	ck := benchCheckpoint()
+	var bytes int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := WriteCheckpoint(io.Discard, ck)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bytes = n
+	}
+	b.ReportMetric(float64(bytes), "bytes/ckpt")
+}
+
+// BenchmarkCheckpointSave measures the full durable path — serialize,
+// fsync, atomic rename — i.e. the real per-round overhead of running
+// with -checkpoint-dir.
+func BenchmarkCheckpointSave(b *testing.B) {
+	ck := benchCheckpoint()
+	dir := b.TempDir()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := SaveCheckpoint(dir, ck); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"fedguard/internal/fl"
+	"fedguard/internal/rng"
+)
+
+// FuzzReadCheckpoint hammers the checkpoint reader with arbitrary
+// bytes: it must return an error or a checkpoint — never panic, and
+// never allocate far beyond the bytes supplied (lying length prefixes
+// and lying element counts are the classic traps). Anything that
+// decodes must survive a re-encode/re-decode round trip byte-exactly.
+func FuzzReadCheckpoint(f *testing.F) {
+	// Seed corpus: well-formed checkpoints of increasing shape…
+	shapes := []*fl.Checkpoint{
+		{Strategy: "FedAvg", Round: 1, Rounds: []fl.RoundRecord{{Round: 1, Report: map[string]float64{}}}},
+		fullCheckpoint(),
+	}
+	for _, ck := range shapes {
+		var buf bytes.Buffer
+		if _, err := WriteCheckpoint(&buf, ck); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	// …plus the hostile shapes: garbage, truncated header, oversized
+	// length prefix, CRC-valid payload with a lying element count, and a
+	// bit-flipped valid file.
+	var valid bytes.Buffer
+	if _, err := WriteCheckpoint(&valid, fullCheckpoint()); err != nil {
+		f.Fatal(err)
+	}
+	flipped := append([]byte(nil), valid.Bytes()...)
+	flipped[len(flipped)/2] ^= 0x40
+	f.Add(flipped)
+	f.Add([]byte{})
+	f.Add([]byte{0x43, 0x47, 0x64})
+	f.Add(valid.Bytes()[:17])
+	huge := append([]byte(nil), valid.Bytes()[:16]...)
+	binary.LittleEndian.PutUint32(huge[8:], 512<<20)
+	f.Add(huge)
+	lying := make([]byte, 0, 64)
+	lying = appendU64(lying, 1)
+	lying = appendU32(lying, 1)
+	lying = appendStr(lying, "s")
+	lying = appendRNG(lying, rng.State{})
+	lying = appendU32(lying, 1<<27) // global count with no bytes behind it
+	frame := make([]byte, 0, len(lying)+16)
+	frame = appendU32(frame, checkpointMagic)
+	frame = appendU32(frame, checkpointVersion)
+	frame = appendU32(frame, uint32(len(lying)))
+	frame = appendU32(frame, crc32Of(lying))
+	frame = append(frame, lying...)
+	f.Add(frame)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) >= 16 {
+			// Keep claimed payload lengths within the input's ballpark so
+			// every iteration stays cheap; huge hostile prefixes have their
+			// own dedicated allocation-bound test.
+			n := binary.LittleEndian.Uint32(data[8:12])
+			if n > uint32(len(data))+64 && n <= maxCheckpointBytes {
+				t.Skip()
+			}
+		}
+		ck, err := ReadCheckpoint(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Byte-level round-trip comparison sidesteps NaN payloads in
+		// floats while still pinning every field.
+		var first bytes.Buffer
+		if _, err := WriteCheckpoint(&first, ck); err != nil {
+			t.Fatalf("decoded checkpoint does not re-encode: %v", err)
+		}
+		again, err := ReadCheckpoint(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded checkpoint does not decode: %v", err)
+		}
+		var second bytes.Buffer
+		if _, err := WriteCheckpoint(&second, again); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatal("re-encode is not a fixed point")
+		}
+	})
+}

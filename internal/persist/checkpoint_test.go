@@ -1,0 +1,356 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"fedguard/internal/fl"
+	"fedguard/internal/rng"
+)
+
+// fullCheckpoint exercises every field of the format: history with
+// drops, wire bytes and reports, decoder cache entries with and without
+// payloads, client snapshots with an armed Gaussian cache.
+func fullCheckpoint() *fl.Checkpoint {
+	r := rng.New(42)
+	r.NormFloat64() // arm the Box–Muller cache
+	return &fl.Checkpoint{
+		Round:     2,
+		Seed:      99,
+		Strategy:  "FedGuard",
+		Global:    []float32{0.5, -1.25, 3e-9, 0},
+		ServerRNG: r.State(),
+		Rounds: []fl.RoundRecord{
+			{
+				Round: 1, TestAccuracy: 0.5, Seconds: 1.5,
+				TrainSeconds: 1.0, AggregateSeconds: 0.25, EvalSeconds: 0.25,
+				UploadBytes: 4096, DownloadBytes: 8192,
+				WireUploadBytes: 1024, WireDownloadBytes: 2048,
+				Sampled: []int{0, 2, 4}, MaliciousSampled: 1,
+				Dropped: []int{2},
+				Report:  map[string]float64{fl.ReportFedGuardExcluded: 1, "scored": 3},
+			},
+			{
+				Round: 2, TestAccuracy: 0.625, Seconds: 1.25,
+				UploadBytes: 4096, DownloadBytes: 8192,
+				WireUploadBytes: 900, WireDownloadBytes: 1800,
+				Sampled: []int{1, 3, 0}, MaliciousSampled: 0,
+				Report: map[string]float64{},
+			},
+		},
+		Decoders: []fl.DecoderState{
+			{ID: 0, Hash: 0xdeadbeefcafef00d},
+			{ID: 3, Hash: 42, Params: []float32{1, 2, 3}},
+		},
+		Clients: []fl.ClientState{
+			{ID: 0, RNG: rng.New(7).State(), Visible: 30, SinceCVAETrain: 2,
+				Decoder: []float32{0.125, -8}, DecoderClasses: []int{0, 4, 9}},
+			{ID: 1, RNG: rng.New(8).State()},
+		},
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	ck := fullCheckpoint()
+	var buf bytes.Buffer
+	n, err := WriteCheckpoint(&buf, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteCheckpoint reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadCheckpoint(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ck) {
+		t.Fatalf("round-trip mismatch:\n got %+v\nwant %+v", got, ck)
+	}
+}
+
+func TestCheckpointBytesDeterministic(t *testing.T) {
+	// Report maps must serialize in sorted key order, so two snapshots of
+	// the same state are byte-identical.
+	var a, b bytes.Buffer
+	if _, err := WriteCheckpoint(&a, fullCheckpoint()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteCheckpoint(&b, fullCheckpoint()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same checkpoint state produced different bytes")
+	}
+}
+
+// TestCheckpointGoldenBytes pins the byte-level format. If this fails,
+// the change breaks every checkpoint on disk: either revert it or bump
+// checkpointVersion and add a migration path.
+func TestCheckpointGoldenBytes(t *testing.T) {
+	ck := &fl.Checkpoint{
+		Round:    1,
+		Seed:     7,
+		Strategy: "FedAvg",
+		Global:   []float32{1, -2},
+		ServerRNG: rng.State{
+			Hi: 0x1111111111111111, Lo: 0x2222222222222222,
+			IncHi: 0x3333333333333333, IncLo: 0x4444444444444445,
+			HaveGauss: true, Gauss: 0.5,
+		},
+		Rounds: []fl.RoundRecord{{
+			Round: 1, TestAccuracy: 0.25, Seconds: 2,
+			TrainSeconds: 1, AggregateSeconds: 0.5, EvalSeconds: 0.5,
+			UploadBytes: 16, DownloadBytes: 32,
+			WireUploadBytes: 8, WireDownloadBytes: 16,
+			Sampled: []int{1, 0}, MaliciousSampled: 1, Dropped: []int{0},
+			Report: map[string]float64{"x": 1},
+		}},
+		Decoders: []fl.DecoderState{{ID: 1, Hash: 0xabc, Params: []float32{3}}},
+		Clients: []fl.ClientState{{
+			ID: 1, RNG: rng.State{Hi: 1, Lo: 2, IncHi: 3, IncLo: 5},
+			Visible: 4, SinceCVAETrain: 1,
+			Decoder: []float32{-1}, DecoderClasses: []int{2},
+		}},
+	}
+	const want = "434764460100000025010000b92ba806" + // header: magic, version, len, crc
+		"0700000000000000" + // seed
+		"01000000" + // round
+		"06000000466564417667" + // strategy "FedAvg"
+		"111111111111111122222222222222223333333333333333454444444444444401000000000000e03f" + // server rng
+		"020000000000803f000000c0" + // global [1, -2]
+		"01000000" + // 1 round record
+		"01000000" + // record round
+		"000000000000d03f" + "0000000000000040" + "000000000000f03f" + "000000000000e03f" + "000000000000e03f" + // acc, secs, train, agg, eval
+		"1000000000000000" + "2000000000000000" + "0800000000000000" + "1000000000000000" + // byte columns
+		"020000000100000000000000" + // sampled [1 0]
+		"01000000" + // malicious sampled
+		"0100000000000000" + // dropped [0]
+		"010000000100000078000000000000f03f" + // report {"x": 1}
+		"01000000" + "01000000bc0a000000000000" + "0100000000004040" + // decoders
+		"01000000" + "01000000" + // 1 client, id 1
+		"010000000000000002000000000000000300000000000000050000000000000000" + "0000000000000000" + // client rng
+		"0400000001000000" + // visible, sinceCVAETrain
+		"01000000000080bf" + "0100000002000000" // decoder [-1], classes [2]
+	var buf bytes.Buffer
+	if _, err := WriteCheckpoint(&buf, ck); err != nil {
+		t.Fatal(err)
+	}
+	got := hex.EncodeToString(buf.Bytes())
+	if got != want {
+		t.Fatalf("checkpoint bytes changed:\n got %s\nwant %s", got, want)
+	}
+	// The pinned bytes must keep decoding to the same state.
+	back, err := ReadCheckpoint(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("golden checkpoint no longer decodes: %v", err)
+	}
+	if !reflect.DeepEqual(back, ck) {
+		t.Fatal("golden checkpoint decodes to different state")
+	}
+}
+
+func encodeCheckpoint(t *testing.T, ck *fl.Checkpoint) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := WriteCheckpoint(&buf, ck); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestReadCheckpointRejectsCorruption(t *testing.T) {
+	valid := encodeCheckpoint(t, fullCheckpoint())
+
+	t.Run("bad magic", func(t *testing.T) {
+		data := append([]byte(nil), valid...)
+		data[0] ^= 0xff
+		if _, err := ReadCheckpoint(bytes.NewReader(data)); !errors.Is(err, ErrCorruptCheckpoint) {
+			t.Fatalf("err = %v, want ErrCorruptCheckpoint", err)
+		}
+	})
+	t.Run("wrong version", func(t *testing.T) {
+		data := append([]byte(nil), valid...)
+		binary.LittleEndian.PutUint32(data[4:], 99)
+		_, err := ReadCheckpoint(bytes.NewReader(data))
+		if err == nil || errors.Is(err, ErrCorruptCheckpoint) {
+			t.Fatalf("err = %v, want a distinct unsupported-version error", err)
+		}
+	})
+	t.Run("truncated at every boundary", func(t *testing.T) {
+		for _, cut := range []int{0, 3, 15, 16, 20, len(valid) / 2, len(valid) - 1} {
+			if _, err := ReadCheckpoint(bytes.NewReader(valid[:cut])); !errors.Is(err, ErrCorruptCheckpoint) {
+				t.Fatalf("cut at %d: err = %v, want ErrCorruptCheckpoint", cut, err)
+			}
+		}
+	})
+	t.Run("flipped payload bit", func(t *testing.T) {
+		for _, off := range []int{16, 30, len(valid) - 1} {
+			data := append([]byte(nil), valid...)
+			data[off] ^= 0x01
+			if _, err := ReadCheckpoint(bytes.NewReader(data)); !errors.Is(err, ErrCorruptCheckpoint) {
+				t.Fatalf("flip at %d: err = %v, want ErrCorruptCheckpoint", off, err)
+			}
+		}
+	})
+	t.Run("trailing garbage inside payload", func(t *testing.T) {
+		// Extend the payload and fix up length+CRC so only the
+		// trailing-bytes check can catch it.
+		data := append(append([]byte(nil), valid...), 0xaa, 0xbb)
+		payload := data[16:]
+		binary.LittleEndian.PutUint32(data[8:], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(data[12:], crc32Of(payload))
+		if _, err := ReadCheckpoint(bytes.NewReader(data)); !errors.Is(err, ErrCorruptCheckpoint) {
+			t.Fatalf("err = %v, want ErrCorruptCheckpoint", err)
+		}
+	})
+	t.Run("lying element count", func(t *testing.T) {
+		// A CRC-valid payload whose global count claims more floats than
+		// the payload holds must fail without allocating the claim.
+		payload := make([]byte, 0, 64)
+		payload = appendU64(payload, 1)           // seed
+		payload = appendU32(payload, 1)           // round
+		payload = appendStr(payload, "s")         // strategy
+		payload = appendRNG(payload, rng.State{}) // server rng
+		payload = appendU32(payload, 1<<28)       // global count lie
+		data := make([]byte, 0, len(payload)+16)
+		data = appendU32(data, checkpointMagic)
+		data = appendU32(data, checkpointVersion)
+		data = appendU32(data, uint32(len(payload)))
+		data = appendU32(data, crc32Of(payload))
+		data = append(data, payload...)
+		before := totalAllocBytes()
+		if _, err := ReadCheckpoint(bytes.NewReader(data)); !errors.Is(err, ErrCorruptCheckpoint) {
+			t.Fatalf("err = %v, want ErrCorruptCheckpoint", err)
+		}
+		if used := totalAllocBytes() - before; used > 1<<20 {
+			t.Fatalf("lying count allocated %d bytes", used)
+		}
+	})
+}
+
+func TestReadCheckpointAllocBound(t *testing.T) {
+	// Header claims a 256 MB payload over a near-empty body: the chunked
+	// reader must fail after at most two growth chunks, not reserve the
+	// claim up front.
+	data := make([]byte, 0, 32)
+	data = appendU32(data, checkpointMagic)
+	data = appendU32(data, checkpointVersion)
+	data = appendU32(data, 256<<20)
+	data = appendU32(data, 0)
+	data = append(data, make([]byte, 100)...)
+	before := totalAllocBytes()
+	if _, err := ReadCheckpoint(bytes.NewReader(data)); err == nil {
+		t.Fatal("lying length prefix accepted")
+	}
+	// Same slack policy as the wire framing's alloc-bound test.
+	if limit := int64(2*allocChunk + 64<<10); totalAllocBytes()-before > limit {
+		t.Fatalf("claimed-256MB checkpoint allocated %d bytes; want ≤ %d", totalAllocBytes()-before, limit)
+	}
+}
+
+func totalAllocBytes() int64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.TotalAlloc)
+}
+
+func crc32Of(b []byte) uint32 {
+	return crc32.Checksum(b, crcTable)
+}
+
+func TestSaveLoadCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LoadCheckpoint(dir); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("empty dir: err = %v, want ErrNoCheckpoint", err)
+	}
+	ck := fullCheckpoint()
+	path, n, err := SaveCheckpoint(dir, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != CheckpointPath(dir) || n <= 16 {
+		t.Fatalf("SaveCheckpoint returned (%q, %d)", path, n)
+	}
+	got, err := LoadCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ck) {
+		t.Fatal("loaded checkpoint differs from saved")
+	}
+}
+
+// TestSaveCheckpointCreatesDir pins the CLI contract: -checkpoint-dir
+// may name a directory that does not exist yet (results/ckpt-run1) and
+// the first write creates it.
+func TestSaveCheckpointCreatesDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "ckpt")
+	ck := fullCheckpoint()
+	if _, _, err := SaveCheckpoint(dir, ck); err != nil {
+		t.Fatalf("SaveCheckpoint into a missing directory: %v", err)
+	}
+	got, err := LoadCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ck) {
+		t.Fatal("loaded checkpoint differs from saved")
+	}
+}
+
+// TestSaveCheckpointAtomic simulates the two crash windows: a torn
+// temporary file left behind by a crash mid-write must not disturb the
+// previous checkpoint, and overwriting replaces it only wholesale.
+func TestSaveCheckpointAtomic(t *testing.T) {
+	dir := t.TempDir()
+	first := fullCheckpoint()
+	if _, _, err := SaveCheckpoint(dir, first); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash mid-write of the NEXT checkpoint: a torn .tmp file exists.
+	torn := encodeCheckpoint(t, fullCheckpoint())[:20]
+	if err := os.WriteFile(CheckpointPath(dir)+".tmp", torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, first) {
+		t.Fatal("torn temporary file disturbed the committed checkpoint")
+	}
+
+	// A completed save replaces it and cleans nothing else up.
+	second := fullCheckpoint()
+	second.Round = 3
+	second.Rounds = append(second.Rounds, fl.RoundRecord{Round: 3, Report: map[string]float64{}})
+	if _, _, err := SaveCheckpoint(dir, second); err != nil {
+		t.Fatal(err)
+	}
+	got, err = LoadCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Round != 3 || len(got.Rounds) != 3 {
+		t.Fatalf("reloaded round = %d with %d records", got.Round, len(got.Rounds))
+	}
+
+	// A truncated committed file is rejected, not resumed from.
+	full := encodeCheckpoint(t, second)
+	if err := os.WriteFile(CheckpointPath(dir), full[:len(full)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(dir); !errors.Is(err, ErrCorruptCheckpoint) {
+		t.Fatalf("truncated checkpoint: err = %v, want ErrCorruptCheckpoint", err)
+	}
+}

@@ -74,24 +74,39 @@ func ReadWeights(r io.Reader) ([]float32, error) {
 	return out, nil
 }
 
-// SaveWeights writes a parameter vector to path (atomically via a
-// temporary file in the same directory).
+// SaveWeights writes a parameter vector to path, atomically and
+// durably: temporary file in the same directory, fsync, then rename. A
+// crash mid-save leaves any previous file at path intact.
 func SaveWeights(path string, weights []float32) error {
+	return atomicWrite(path, func(f *os.File) error {
+		return WriteWeights(f, weights)
+	})
+}
+
+// atomicWrite streams content into path+".tmp", fsyncs, and renames the
+// result over path — the shared crash-safety discipline for every
+// artifact this package persists.
+func atomicWrite(path string, write func(*os.File) error) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	if err := WriteWeights(f, weights); err != nil {
-		f.Close()
+	err = write(f)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
 		os.Remove(tmp)
 		return err
 	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
+	return nil
 }
 
 // LoadWeights reads a parameter vector from path.
@@ -104,17 +119,17 @@ func LoadWeights(path string) ([]float32, error) {
 	return ReadWeights(f)
 }
 
-// SaveHistory writes a run history to path as indented JSON.
+// SaveHistory writes a run history to path as indented JSON, with the
+// same atomic fsync+rename discipline as the binary artifacts.
 func SaveHistory(path string, h *fl.History) error {
 	data, err := json.MarshalIndent(h, "", "  ")
 	if err != nil {
 		return err
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
+	return atomicWrite(path, func(f *os.File) error {
+		_, werr := f.Write(data)
+		return werr
+	})
 }
 
 // LoadHistory reads a run history written by SaveHistory.

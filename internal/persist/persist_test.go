@@ -163,6 +163,61 @@ func TestSaveLoadHistory(t *testing.T) {
 	}
 }
 
+// TestSaveLoadHistoryWireFields pins the round-trip of the
+// fault-tolerance and wire-accounting columns — Dropped,
+// WireUploadBytes/WireDownloadBytes and the MeanWireBytes derived from
+// them — which the original round-trip test predates.
+func TestSaveLoadHistoryWireFields(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "history.json")
+	h := &fl.History{
+		Strategy: "FedGuard",
+		Rounds: []fl.RoundRecord{
+			{Round: 1, Seconds: 1,
+				UploadBytes: 1000, DownloadBytes: 2000,
+				WireUploadBytes: 300, WireDownloadBytes: 400,
+				Sampled: []int{0, 2, 4}, Dropped: []int{2},
+				Report: map[string]float64{}},
+			{Round: 2, Seconds: 1,
+				UploadBytes: 1000, DownloadBytes: 2000,
+				WireUploadBytes: 500, WireDownloadBytes: 800,
+				Sampled: []int{1, 3, 0},
+				Report:  map[string]float64{}},
+		},
+		FinalWeights: []float32{1, 2},
+	}
+	if err := SaveHistory(path, h); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range h.Rounds {
+		r := got.Rounds[i]
+		if r.WireUploadBytes != want.WireUploadBytes || r.WireDownloadBytes != want.WireDownloadBytes {
+			t.Fatalf("round %d wire bytes: got %d/%d, want %d/%d",
+				want.Round, r.WireUploadBytes, r.WireDownloadBytes, want.WireUploadBytes, want.WireDownloadBytes)
+		}
+		if len(r.Dropped) != len(want.Dropped) {
+			t.Fatalf("round %d dropped list: got %v, want %v", want.Round, r.Dropped, want.Dropped)
+		}
+		for j := range want.Dropped {
+			if r.Dropped[j] != want.Dropped[j] {
+				t.Fatalf("round %d dropped list: got %v, want %v", want.Round, r.Dropped, want.Dropped)
+			}
+		}
+	}
+	wantUp, wantDown := h.MeanWireBytes()
+	gotUp, gotDown := got.MeanWireBytes()
+	if gotUp != wantUp || gotDown != wantDown {
+		t.Fatalf("MeanWireBytes: got %d/%d, want %d/%d", gotUp, gotDown, wantUp, wantDown)
+	}
+	if len(got.FinalWeights) != 2 {
+		t.Fatalf("FinalWeights lost: %v", got.FinalWeights)
+	}
+}
+
 func TestLoadHistoryRejectsBadJSON(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "bad.json")

@@ -95,6 +95,42 @@ func (r *RNG) Clone() *RNG {
 	return &c
 }
 
+// State is the full serializable snapshot of a generator: the 128-bit
+// PCG state, the stream selector, and the Box–Muller cache. The cache
+// matters — NormFloat64 draws two variates per transform and hands the
+// second one out on the next call, so dropping it would desynchronize a
+// restored stream from the original by one Gaussian draw. Checkpoints
+// persist State so a resumed run continues the exact stream.
+type State struct {
+	Hi, Lo       uint64
+	IncHi, IncLo uint64
+	HaveGauss    bool
+	Gauss        float64
+}
+
+// State snapshots the generator. The snapshot is a value copy: advancing
+// the generator afterwards does not disturb it.
+func (r *RNG) State() State {
+	return State{Hi: r.hi, Lo: r.lo, IncHi: r.incHi, IncLo: r.incLo, HaveGauss: r.haveGauss, Gauss: r.gauss}
+}
+
+// SetState overwrites the generator with a snapshot taken by State. The
+// stream-selector low half is forced odd, preserving the PCG increment
+// invariant even for snapshots from untrusted bytes.
+func (r *RNG) SetState(s State) {
+	r.hi, r.lo = s.Hi, s.Lo
+	r.incHi, r.incLo = s.IncHi, s.IncLo|1
+	r.haveGauss, r.gauss = s.HaveGauss, s.Gauss
+}
+
+// FromState reconstructs a generator that continues the exact stream the
+// snapshotted generator would have produced.
+func FromState(s State) *RNG {
+	r := &RNG{}
+	r.SetState(s)
+	return r
+}
+
 // Intn returns a uniform int in [0, n). It panics if n <= 0.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {

@@ -124,6 +124,31 @@ type RoundDegraded struct {
 // Kind implements Event.
 func (RoundDegraded) Kind() string { return "RoundDegraded" }
 
+// CheckpointWritten records one crash-safe checkpoint landing on disk
+// (already fsynced and atomically renamed into place). Seconds is the
+// full persistence cost and also feeds the CheckpointMetric histogram.
+type CheckpointWritten struct {
+	Round   int     `json:"round"`
+	Path    string  `json:"path,omitempty"`
+	Bytes   int64   `json:"bytes,omitempty"`
+	Seconds float64 `json:"seconds"`
+}
+
+// Kind implements Event.
+func (CheckpointWritten) Kind() string { return "CheckpointWritten" }
+
+// RunResumed records a server continuing a run from a checkpoint: Round
+// is the last completed round it restored, so the run picks up at
+// Round+1 with state that makes the remaining rounds byte-identical to
+// an uninterrupted run.
+type RunResumed struct {
+	Round    int    `json:"round"`
+	Strategy string `json:"strategy,omitempty"`
+}
+
+// Kind implements Event.
+func (RunResumed) Kind() string { return "RunResumed" }
+
 // RunCompleted closes an experiment's event stream.
 type RunCompleted struct {
 	Rounds        int     `json:"rounds"`

@@ -261,3 +261,9 @@ const BroadcastEncodeMetric = "fedguard_broadcast_encode_seconds"
 // while client uploads were still in flight, i.e. work hidden in the
 // network shadow instead of serialized after the round barrier.
 const AuditOverlapMetric = "fedguard_audit_overlap_seconds"
+
+// CheckpointMetric is the histogram of checkpoint persistence cost: one
+// observation per crash-safe snapshot (serialize + fsync + atomic
+// rename), so the Table V overhead of running with -checkpoint-dir is
+// directly readable from /metrics.
+const CheckpointMetric = "fedguard_checkpoint_seconds"
