@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short race vet ci bench bench-json bench-smoke bench-guard test-chaos test-codec test-resume trace-smoke fuzz-smoke clean
+.PHONY: all build test test-short race vet ci bench bench-json bench-smoke bench-agg bench-guard test-chaos test-codec test-resume trace-smoke fuzz-smoke clean
 
 # The substrate microbenchmarks tracked in BENCH_micro.json.
 MICRO_BENCH = BenchmarkMatMul128$$|BenchmarkConvForward$$|BenchmarkConvBackward$$|BenchmarkClassifierTrainEpoch$$|BenchmarkDecoderGenerate$$
@@ -14,6 +14,10 @@ FANOUT_BENCH = BenchmarkServerBroadcastFanout$$
 # The checkpoint write-cost benchmarks (serialization alone, and the full
 # fsync+rename durable path), tracked in the same snapshot file.
 CKPT_BENCH = BenchmarkCheckpointWrite$$|BenchmarkCheckpointSave$$
+# The aggregation-kernel benchmarks (robust strategy math on the blocked
+# reduction kernels at model dimension), tracked in the same snapshot
+# file.
+AGG_BENCH = BenchmarkAggregateFedAvg$$|BenchmarkKrumScores$$|BenchmarkGeoMed$$|BenchmarkCoordinateMedian$$|BenchmarkServerApply$$
 # Label for the snapshot written by bench-json.
 BENCH_LABEL ?= current
 
@@ -54,6 +58,12 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench '$(CODEC_BENCH)' -benchmem -benchtime=1x ./internal/codec/
 	$(GO) test -run '^$$' -bench '$(FANOUT_BENCH)' -benchmem -benchtime=1x ./internal/fednet/
 	$(GO) test -run '^$$' -bench '$(CKPT_BENCH)' -benchmem -benchtime=1x ./internal/persist/
+	$(GO) test -run '^$$' -bench '$(AGG_BENCH)' -benchmem -benchtime=1x .
+
+# bench-agg runs the aggregation-kernel benchmarks once — the quick
+# sanity check after touching internal/tensor or internal/aggregate.
+bench-agg:
+	$(GO) test -run '^$$' -bench '$(AGG_BENCH)' -benchmem -benchtime=1x .
 
 # bench-json measures the tracked microbenchmarks and records them as a
 # labelled snapshot in BENCH_micro.json (BENCH_LABEL=<label> to name it;
@@ -63,18 +73,21 @@ bench-json:
 	  $(GO) test -run '^$$' -bench '$(WIRE_BENCH)' -benchmem -benchtime=3s ./internal/wire/ ; \
 	  $(GO) test -run '^$$' -bench '$(CODEC_BENCH)' -benchmem -benchtime=3s ./internal/codec/ ; \
 	  $(GO) test -run '^$$' -bench '$(FANOUT_BENCH)' -benchmem -benchtime=20x ./internal/fednet/ ; \
-	  $(GO) test -run '^$$' -bench '$(CKPT_BENCH)' -benchmem -benchtime=3s ./internal/persist/ ; } \
+	  $(GO) test -run '^$$' -bench '$(CKPT_BENCH)' -benchmem -benchtime=3s ./internal/persist/ ; \
+	  $(GO) test -run '^$$' -bench '$(AGG_BENCH)' -benchmem -benchtime=3s . ; } \
 		| $(GO) run ./cmd/benchjson -label '$(BENCH_LABEL)' -out BENCH_micro.json
 
 # bench-guard re-measures the round-pipeline critical benchmarks and
 # fails if any exceed the ceilings committed in BENCH_guard.json — the
 # regression tripwire for the pooled frame writer, the codec fast paths,
-# and the per-round checkpoint serialization cost. Ceilings are loose
-# (≈2-3× the snapshot numbers) so CI noise passes but a lost fast path
-# or reintroduced per-op allocation fails.
+# the per-round checkpoint serialization cost, and the blocked
+# aggregation kernels. Ceilings are loose (≈2-3× the snapshot numbers)
+# so CI noise passes but a lost fast path or reintroduced per-op
+# allocation fails.
 bench-guard:
 	{ $(GO) test -run '^$$' -bench 'BenchmarkWireWriteUpdate$$' -benchmem -benchtime=50x ./internal/wire/ ; \
-	  $(GO) test -run '^$$' -bench 'BenchmarkCheckpointWrite$$' -benchmem -benchtime=50x ./internal/persist/ ; } \
+	  $(GO) test -run '^$$' -bench 'BenchmarkCheckpointWrite$$' -benchmem -benchtime=50x ./internal/persist/ ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkKrumScores$$|BenchmarkGeoMed$$|BenchmarkCoordinateMedian$$|BenchmarkServerApply$$' -benchmem -benchtime=20x . ; } \
 		| $(GO) run ./cmd/benchjson -guard BENCH_guard.json
 
 # test-chaos runs the deterministic fault-injection suite — the faultnet

@@ -298,8 +298,15 @@ func benchUpdates(n, dim int) []fl.Update {
 	return ups
 }
 
+// modelDim is the real model size (classifier.Small's parameter count),
+// so the aggregation benchmarks measure the exact vector length a
+// default-preset round pushes through the strategy math.
+func modelDim() int {
+	return classifier.Small()(rng.New(9)).NumParams()
+}
+
 func BenchmarkAggregateFedAvg(b *testing.B) {
-	ups := benchUpdates(50, 100_000)
+	ups := benchUpdates(50, modelDim())
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -309,8 +316,23 @@ func BenchmarkAggregateFedAvg(b *testing.B) {
 	}
 }
 
-func BenchmarkAggregateGeoMed(b *testing.B) {
-	ups := benchUpdates(50, 100_000)
+// BenchmarkKrumScores is the Krum hot loop alone: the m×m pairwise
+// squared-distance matrix plus the per-update neighbour sums, at the
+// paper's m=50 and the real model dimension.
+func BenchmarkKrumScores(b *testing.B) {
+	ups := benchUpdates(50, modelDim())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := aggregate.KrumScores(ups, 24); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGeoMed(b *testing.B) {
+	ups := benchUpdates(50, modelDim())
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := aggregate.GeometricMedian(ups); err != nil {
@@ -319,24 +341,38 @@ func BenchmarkAggregateGeoMed(b *testing.B) {
 	}
 }
 
-func BenchmarkAggregateKrum(b *testing.B) {
-	ups := benchUpdates(50, 100_000)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := aggregate.Krum(ups, 24); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-func BenchmarkAggregateMedian(b *testing.B) {
-	ups := benchUpdates(50, 100_000)
+func BenchmarkCoordinateMedian(b *testing.B) {
+	ups := benchUpdates(50, modelDim())
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := aggregate.CoordinateMedian(ups); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkServerApply measures the server's ψ ← ψ + lr·(agg − ψ) update
+// at the real model dimension — the per-round cost both servers pay after
+// every aggregation.
+func BenchmarkServerApply(b *testing.B) {
+	dim := modelDim()
+	r := rng.New(10)
+	global := make([]float32, dim)
+	agg := make([]float32, dim)
+	next := make([]float32, dim)
+	r.FillNormal(global, 0, 0.1)
+	r.FillNormal(agg, 0, 0.1)
+	b.ReportAllocs()
+	b.SetBytes(int64(dim) * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lr := float32(0.3)
+		for j := range next {
+			next[j] = global[j] + lr*(agg[j]-global[j])
+		}
+	}
+	_ = next
 }
 
 func BenchmarkSynthDigitRender(b *testing.B) {

@@ -72,6 +72,8 @@ func main() {
 			"record span trees and propagate trace context over the wire (CapTrace); negotiated, so both endpoints must pass it; merge the per-node -events logs with fedtrace")
 		streamAudit = flag.Bool("stream-audit", false,
 			"server: audit each update as it arrives instead of after the round barrier (bit-identical results; server-side only, no negotiation)")
+		aggWorkers = flag.Int("agg-workers", 0,
+			"server: aggregation-kernel parallelism (0 = tensor pool default; results identical at any value)")
 
 		minClients = flag.Int("min-clients", 0,
 			"server: round quorum; > 0 drops unresponsive clients instead of aborting (0 = strict)")
@@ -99,6 +101,9 @@ func main() {
 	}
 	if *ckptEvery < 0 {
 		fatal(fmt.Errorf("-checkpoint-every = %d", *ckptEvery))
+	}
+	if *aggWorkers < 0 {
+		fatal(fmt.Errorf("-agg-workers = %d", *aggWorkers))
 	}
 
 	switch *mode {
@@ -139,7 +144,7 @@ func main() {
 			RegisterTimeout: *registerTimeout,
 		}
 		ck := checkpointing{Dir: *ckptDir, Every: *ckptEvery, Resume: *resume}
-		if err := runServer(*listen, *preset, *scenario, *strategy, *events, *debugAddr, *compress, *trace, *streamAudit, ft, ck); err != nil {
+		if err := runServer(*listen, *preset, *scenario, *strategy, *events, *debugAddr, *compress, *trace, *streamAudit, *aggWorkers, ft, ck); err != nil {
 			fatal(err)
 		}
 	default:
@@ -165,7 +170,7 @@ type checkpointing struct {
 	Resume bool
 }
 
-func runServer(listen, preset, scenarioID, strategyName, events, debugAddr string, compress, trace, streamAudit bool, ft faultTolerance, ck checkpointing) error {
+func runServer(listen, preset, scenarioID, strategyName, events, debugAddr string, compress, trace, streamAudit bool, aggWorkers int, ft faultTolerance, ck checkpointing) error {
 	setup, err := experiment.NewSetup(experiment.Preset(preset))
 	if err != nil {
 		return err
@@ -222,6 +227,7 @@ func runServer(listen, preset, scenarioID, strategyName, events, debugAddr strin
 			NumClasses: 10,
 		},
 		TestSubset:  setup.TestSubset,
+		AggWorkers:  aggWorkers,
 		Seed:        setup.Seed,
 		StreamAudit: streamAudit,
 	}

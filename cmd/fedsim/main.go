@@ -33,6 +33,7 @@ func main() {
 		rounds    = flag.Int("rounds", 0, "override round count (0 = preset value)")
 		samples   = flag.Int("samples", 0, "override FedGuard synthetic sample count t (0 = preset value)")
 		workers   = flag.Int("workers", 0, "concurrent client trainers (0 = GOMAXPROCS)")
+		aggWork   = flag.Int("agg-workers", 0, "aggregation-kernel parallelism (0 = tensor pool default; results identical at any value)")
 		streamAud = flag.Bool("stream-audit", false, "audit each update as it lands instead of after the round barrier (bit-identical results)")
 		ckptDir   = flag.String("checkpoint-dir", "", "persist a crash-safe run checkpoint to this directory after each round")
 		ckptEvery = flag.Int("checkpoint-every", 1, "checkpoint cadence in rounds (with -checkpoint-dir)")
@@ -76,6 +77,9 @@ func main() {
 	}
 	if *ckptEvery < 0 {
 		fatal(fmt.Errorf("-checkpoint-every = %d", *ckptEvery))
+	}
+	if *aggWork < 0 {
+		fatal(fmt.Errorf("-agg-workers = %d", *aggWork))
 	}
 
 	if *list {
@@ -133,6 +137,7 @@ func main() {
 		CheckpointDir:   *ckptDir,
 		CheckpointEvery: *ckptEvery,
 		Resume:          *resume,
+		AggWorkers:      *aggWork,
 		OnRound: func(rec fl.RoundRecord) {
 			fmt.Fprintf(os.Stderr, "round %3d  acc=%.4f  malicious-sampled=%d/%d  %.2fs",
 				rec.Round, rec.TestAccuracy, rec.MaliciousSampled, len(rec.Sampled), rec.Seconds)

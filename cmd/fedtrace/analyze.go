@@ -184,6 +184,12 @@ type RoundReport struct {
 	SynthesizeSeconds float64 `json:"synthesize_seconds"`
 	EvalSeconds       float64 `json:"eval_seconds"`
 
+	// Aggregation attribution from the server.aggregate span's labels:
+	// which strategy ran and at what kernel parallelism, so aggregate
+	// seconds can be compared across strategy × workers settings.
+	AggStrategy string `json:"agg_strategy,omitempty"`
+	AggWorkers  int    `json:"agg_workers,omitempty"`
+
 	// Streaming-audit overlap: audit compute that ran while uploads were
 	// still in flight (hidden in the network shadow), and how many
 	// synthesis/scoring jobs it covered. Zero on barrier-mode rounds.
@@ -268,6 +274,9 @@ func analyzeRound(rs *span) RoundReport {
 	}
 	for _, c := range rs.Children {
 		switch c.Name {
+		case "server.aggregate":
+			r.AggStrategy = c.Labels["strategy"]
+			r.AggWorkers = int(c.intLabel("workers"))
 		case "server.audit_stream":
 			// The streaming-audit summary span carries its overlap as
 			// labels; the span itself is ended immediately, so its own
@@ -399,6 +408,13 @@ func writeText(w io.Writer, rep *Report) {
 	}
 	for _, rj := range rep.Rejoins {
 		fmt.Fprintf(w, "rejoin: client %s at %s\n", rj.Client, rj.Reason)
+	}
+	// Aggregation attribution: constant across rounds, so report once.
+	for _, r := range rep.Rounds {
+		if r.AggStrategy != "" || r.AggWorkers > 0 {
+			fmt.Fprintf(w, "aggregation: strategy=%s workers=%d\n", r.AggStrategy, r.AggWorkers)
+			break
+		}
 	}
 	fmt.Fprintf(w, "total %.2fs  retries=%d resends=%d  bytes=%d/%d\n",
 		rep.TotalSeconds, rep.TotalRetries, rep.TotalResends,

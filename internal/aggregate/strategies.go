@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"fedguard/internal/fl"
+	"fedguard/internal/tensor"
 )
 
 // FedAvg is the undefended baseline strategy (McMahan et al.).
@@ -156,13 +157,11 @@ func medianNorm(updates []fl.Update) (float64, error) {
 		return 0, ErrNoUpdates
 	}
 	norms := make([]float64, len(updates))
-	for i, u := range updates {
-		var acc float64
-		for _, v := range u.Weights {
-			acc += float64(v) * float64(v)
+	tensor.ParallelBlocks(len(updates), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			norms[i] = tensor.SumSqBlocked(updates[i].Weights)
 		}
-		norms[i] = acc
-	}
+	})
 	// Selection by sorting; m is small.
 	for i := 1; i < len(norms); i++ {
 		for j := i; j > 0 && norms[j] < norms[j-1]; j-- {

@@ -135,9 +135,13 @@ func (s *Spectral) Aggregate(ctx *fl.RoundContext) ([]float32, error) {
 	}
 	stopAudit := ctx.StartPhase("server.audit")
 	x := tensor.New(len(updates), s.SurrogateDim)
-	for i, u := range updates {
-		copy(x.Data[i*s.SurrogateDim:(i+1)*s.SurrogateDim], s.proj.apply(u.Weights))
-	}
+	// Each update owns its surrogate row, so the projections parallelize
+	// without affecting results.
+	tensor.ParallelBlocks(len(updates), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s.proj.applyInto(x.Data[i*s.SurrogateDim:(i+1)*s.SurrogateDim], updates[i].Weights)
+		}
+	})
 	errs := s.vae.ReconstructionError(x)
 	stopAudit()
 	var mean float64
@@ -205,18 +209,26 @@ func newProjection(in, out int, seed uint64) *projection {
 }
 
 func (p *projection) apply(w []float32) []float32 {
+	out := make([]float32, p.out)
+	p.applyInto(out, w)
+	return out
+}
+
+// applyInto writes the projection of w into dst without allocating.
+func (p *projection) applyInto(dst []float32, w []float32) {
 	if len(w) != p.in {
 		panic(fmt.Sprintf("defense: projecting %d-dim update, expected %d", len(w), p.in))
 	}
-	out := make([]float32, p.out)
-	for o := range out {
+	if len(dst) != p.out {
+		panic(fmt.Sprintf("defense: projection dst %d, expected %d", len(dst), p.out))
+	}
+	for o := range dst {
 		var acc float32
 		idx := p.idx[o]
 		sign := p.sign[o]
 		for j, i := range idx {
 			acc += w[i] * sign[j]
 		}
-		out[o] = acc
+		dst[o] = acc
 	}
-	return out
 }

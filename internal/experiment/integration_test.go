@@ -1,7 +1,10 @@
 package experiment
 
 import (
+	"math"
 	"testing"
+
+	"fedguard/internal/tensor"
 )
 
 // TestIntegrationFedGuardAuditWorkersDeterminism pins the end-to-end
@@ -36,6 +39,74 @@ func TestIntegrationFedGuardAuditWorkersDeterminism(t *testing.T) {
 			t.Fatalf("FinalWeights[%d] differs: serial %v, parallel %v", i, serial[i], parallel[i])
 		}
 	}
+}
+
+// TestIntegrationAggWorkersDeterminism pins the acceptance contract of
+// the blocked aggregation kernels: a fixed-seed quick-preset federation
+// produces byte-identical FinalWeights at every aggregation-kernel
+// width — serial, a fixed pool, and the GOMAXPROCS default — for each
+// kernel-backed strategy, including a run resumed from a mid-run
+// checkpoint at a different width than the run that wrote it.
+func TestIntegrationAggWorkersDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	defer tensor.SetAggWorkers(0)
+	setup := MustSetup(PresetQuick)
+	setup.Rounds = 3 // enough rounds to exercise every kernel; keeps 14 runs affordable
+	sc, _ := ScenarioByID("sign-flip-50")
+
+	run := func(t *testing.T, strategy string, opts RunOptions) []float32 {
+		t.Helper()
+		// Reset the pool-wide width so an AggWorkers=0 leg genuinely
+		// follows the tensor pool instead of inheriting the prior leg's.
+		tensor.SetAggWorkers(0)
+		res, err := Run(setup, sc, strategy, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.History.FinalWeights) == 0 {
+			t.Fatal("no final weights recorded")
+		}
+		return res.History.FinalWeights
+	}
+	sameBits := func(t *testing.T, want, got []float32, leg string) {
+		t.Helper()
+		if len(want) != len(got) {
+			t.Fatalf("%s: weight counts differ: %d vs %d", leg, len(want), len(got))
+		}
+		for i := range want {
+			if math.Float32bits(want[i]) != math.Float32bits(got[i]) {
+				t.Fatalf("%s: FinalWeights[%d] differs: %v vs %v", leg, i, want[i], got[i])
+			}
+		}
+	}
+
+	for _, strategy := range []string{"FedAvg", "GeoMed", "Krum", "FedGuard"} {
+		t.Run(strategy, func(t *testing.T) {
+			serial := run(t, strategy, RunOptions{AggWorkers: 1})
+			for _, w := range []int{4, 0} { // 0 = tensor pool default (GOMAXPROCS)
+				got := run(t, strategy, RunOptions{AggWorkers: w})
+				sameBits(t, serial, got, strategy)
+			}
+		})
+	}
+
+	t.Run("Resume", func(t *testing.T) {
+		uninterrupted := run(t, "FedGuard", RunOptions{AggWorkers: 1})
+		// Checkpoint every round but stop after round 2, then resume the
+		// final round at a wider kernel; the spliced run must reproduce
+		// the uninterrupted serial one bit for bit.
+		dir := t.TempDir()
+		short := setup
+		short.Rounds = 2
+		tensor.SetAggWorkers(0)
+		if _, err := Run(short, sc, "FedGuard", RunOptions{AggWorkers: 4, CheckpointDir: dir}); err != nil {
+			t.Fatal(err)
+		}
+		resumed := run(t, "FedGuard", RunOptions{AggWorkers: 4, CheckpointDir: dir, Resume: true})
+		sameBits(t, uninterrupted, resumed, "resumed")
+	})
 }
 
 // These tests reproduce the paper's qualitative claims end-to-end at

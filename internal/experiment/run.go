@@ -58,6 +58,10 @@ type RunOptions struct {
 	// Resume loads CheckpointDir's checkpoint and continues the run from
 	// the round after it. A missing checkpoint means a cold start.
 	Resume bool
+	// AggWorkers bounds the aggregation-kernel parallelism
+	// (fl.FederationConfig.AggWorkers); 0 keeps the tensor pool default.
+	// Results are byte-identical at any setting.
+	AggWorkers int
 }
 
 // Run executes one (setup, scenario, strategy) cell and returns its
@@ -103,6 +107,7 @@ func Run(setup Setup, sc Scenario, strategyName string, opts RunOptions) (*Resul
 			NumClasses: 10,
 		},
 		Workers:     setup.Workers,
+		AggWorkers:  opts.AggWorkers,
 		TestSubset:  setup.TestSubset,
 		Seed:        seed,
 		Telemetry:   tel,

@@ -55,6 +55,7 @@ import (
 	"fedguard/internal/persist"
 	"fedguard/internal/rng"
 	"fedguard/internal/telemetry"
+	"fedguard/internal/tensor"
 	"fedguard/internal/wire"
 )
 
@@ -366,6 +367,9 @@ var errProtocol = errors.New("fednet: protocol violation")
 // fires after every round.
 func (s *Server) Run(ln net.Listener, onRound func(fl.RoundRecord)) (*fl.History, error) {
 	cfg := s.cfg.Experiment
+	if cfg.AggWorkers > 0 {
+		tensor.SetAggWorkers(cfg.AggWorkers)
+	}
 	train := dataset.Generate(s.cfg.TrainSize, dataset.DefaultGenOptions(), rng.New(s.cfg.DataSeed))
 	s.parts = fl.Partition(train, cfg)
 	s.malicious = fl.MaliciousPlacement(cfg)
@@ -545,7 +549,9 @@ func (s *Server) Run(ln net.Listener, onRound func(fl.RoundRecord)) (*fl.History
 		trainSecs := time.Since(trainStart).Seconds()
 
 		aggStart := time.Now()
-		aggSpan, stopAgg := tel.StartPhase(roundSpan, "server.aggregate")
+		aggSpan, stopAgg := tel.StartPhase(roundSpan, "server.aggregate",
+			telemetry.L("strategy", s.strategy.Name()),
+			telemetry.L("workers", strconv.Itoa(tensor.EffectiveAggWorkers())))
 		ctx.Updates = updates
 		ctx.Span = aggSpan
 		var agg []float32
@@ -559,14 +565,15 @@ func (s *Server) Run(ln net.Listener, onRound func(fl.RoundRecord)) (*fl.History
 		if err != nil {
 			return history, fmt.Errorf("fednet: round %d aggregation: %w", round, err)
 		}
-		lr := float32(cfg.ServerLR)
+		// ψ ← ψ + lr·(agg − ψ). Unlike the in-process server this buffer
+		// cannot ping-pong: connections retain the round's global as their
+		// delta base (baseVec) until the next broadcast lands.
 		next := make([]float32, len(global))
-		for i := range next {
-			next[i] = global[i] + lr*(agg[i]-global[i])
-		}
+		tensor.LerpInto(next, global, agg, float32(cfg.ServerLR))
 		global = next
 		stopAgg()
 		aggSecs := time.Since(aggStart).Seconds()
+		fl.RecordAggregate(tel, s.strategy.Name(), aggSecs)
 
 		// Byte accounting, both ways: the logical columns follow the
 		// paper's Table V (full payload sizes at 4 bytes per parameter);

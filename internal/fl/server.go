@@ -13,6 +13,7 @@ import (
 	"fedguard/internal/dataset"
 	"fedguard/internal/rng"
 	"fedguard/internal/telemetry"
+	"fedguard/internal/tensor"
 )
 
 // FederationConfig describes a full federated experiment (paper §IV-A):
@@ -45,6 +46,11 @@ type FederationConfig struct {
 	Stream *StreamConfig
 	// Workers bounds concurrent client training (default GOMAXPROCS).
 	Workers int
+	// AggWorkers bounds the parallelism of the aggregation kernels
+	// (tensor.SetAggWorkers); 0 follows the tensor pool's setting. The
+	// blocked kernels make results byte-identical at any value — the
+	// knob trades wall-clock only.
+	AggWorkers int
 	// StreamAudit overlaps the strategy's per-update audit work with
 	// client training when the strategy implements StreamingStrategy
 	// (FedGuard): each update is submitted to the round's stream as its
@@ -104,6 +110,8 @@ func (c *FederationConfig) Validate() error {
 		return fmt.Errorf("fl: MaliciousFraction %v with nil Attack", c.MaliciousFraction)
 	case c.Client.Arch == nil:
 		return fmt.Errorf("fl: Client.Arch is nil")
+	case c.AggWorkers < 0:
+		return fmt.Errorf("fl: AggWorkers = %d", c.AggWorkers)
 	}
 	if s := c.Stream; s != nil {
 		if s.InitialFraction <= 0 || s.InitialFraction > 1 {
@@ -182,6 +190,9 @@ func (f *Federation) Resume(strategy Strategy, ck *Checkpoint, onRound func(Roun
 
 func (f *Federation) run(strategy Strategy, onRound func(RoundRecord), resume *Checkpoint) (*History, error) {
 	cfg := f.cfg
+	if cfg.AggWorkers > 0 {
+		tensor.SetAggWorkers(cfg.AggWorkers)
+	}
 	// All streams are derived from the experiment seed by domain tag so a
 	// distributed deployment (package fednet) can reconstruct any client's
 	// stream independently and produce bit-identical results.
@@ -202,8 +213,10 @@ func (f *Federation) run(strategy Strategy, onRound func(RoundRecord), resume *C
 	}
 	serverRNG := rng.New(rng.DeriveSeed(cfg.Seed, "server", 0))
 
-	// ψ₀ ← init() (Alg. 1 line 15).
+	// ψ₀ ← init() (Alg. 1 line 15). nextGlobal is the ping-pong partner
+	// for the per-round ψ update.
 	global := InitialGlobal(cfg)
+	nextGlobal := make([]float32, len(global))
 	evalModel := cfg.Client.Arch(rng.New(rng.DeriveSeed(cfg.Seed, "eval", 0)))
 
 	testIdx := dataset.Range(f.test.Len())
@@ -305,7 +318,9 @@ func (f *Federation) run(strategy Strategy, onRound func(RoundRecord), resume *C
 		trainSecs := time.Since(trainStart).Seconds()
 
 		aggStart := time.Now()
-		aggSpan, stopAgg := tel.StartPhase(roundSpan, "server.aggregate")
+		aggSpan, stopAgg := tel.StartPhase(roundSpan, "server.aggregate",
+			telemetry.L("strategy", strategy.Name()),
+			telemetry.L("workers", strconv.Itoa(tensor.EffectiveAggWorkers())))
 		ctx.Updates = updates
 		ctx.Span = aggSpan
 		var agg []float32
@@ -324,15 +339,15 @@ func (f *Federation) run(strategy Strategy, onRound func(RoundRecord), resume *C
 			return history, fmt.Errorf("fl: round %d: strategy returned %d parameters, want %d",
 				round, len(agg), len(global))
 		}
-		// ψ ← ψ + lr·(agg − ψ): lr = 1 reduces to plain replacement.
-		lr := float32(cfg.ServerLR)
-		next := make([]float32, len(global))
-		for i := range next {
-			next[i] = global[i] + lr*(agg[i]-global[i])
-		}
-		global = next
+		// ψ ← ψ + lr·(agg − ψ): lr = 1 reduces to plain replacement. The
+		// two buffers ping-pong between rounds (everything downstream —
+		// clients, checkpoints, history — copies rather than retains), so
+		// the server update allocates nothing after round one.
+		tensor.LerpInto(nextGlobal, global, agg, float32(cfg.ServerLR))
+		global, nextGlobal = nextGlobal, global
 		stopAgg()
 		aggSecs := time.Since(aggStart).Seconds()
+		RecordAggregate(tel, strategy.Name(), aggSecs)
 
 		// Byte accounting per Table V: uploads are the global broadcast to
 		// the m sampled clients; downloads are their returned updates plus
@@ -418,6 +433,12 @@ func (f *Federation) run(strategy Strategy, onRound func(RoundRecord), resume *C
 		TotalSeconds:  time.Since(runStart).Seconds(),
 	})
 	return history, nil
+}
+
+// RecordAggregate publishes one round's server-side aggregation cost to
+// the per-strategy histogram. Shared with the networked server.
+func RecordAggregate(tel *telemetry.T, strategy string, secs float64) {
+	tel.Observe(telemetry.AggregateMetric, secs, telemetry.L("strategy", strategy))
 }
 
 // RecordRound publishes one round's record as a structured event plus

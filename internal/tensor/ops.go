@@ -193,10 +193,3 @@ func checkTriple(op string, dst, a, b *Tensor) {
 		panic(fmt.Sprintf("tensor: %s shape mismatch %v, %v, %v", op, dst.shape, a.shape, b.shape))
 	}
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -148,6 +148,41 @@ func ParallelRanges(rr RangeRunner, n int) {
 	wgPool.Put(wg)
 }
 
+// ParallelRangesN is ParallelRanges with an explicit parallelism bound
+// instead of the pool-wide Workers() setting. The aggregation kernels
+// use it so their worker count (AggWorkers) can be tuned independently
+// of the training matmul pool. workers <= 0 falls back to Workers().
+func ParallelRangesN(rr RangeRunner, n, workers int) {
+	if workers <= 0 {
+		workers = Workers()
+	} else {
+		workers = clampWorkers(workers)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n > 0 {
+			rr.RunRange(0, n)
+		}
+		return
+	}
+	ensureWorkers(workers - 1)
+	chunk := (n + workers - 1) / workers
+	wg := wgPool.Get().(*sync.WaitGroup)
+	for lo := chunk; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		poolTasks <- poolTask{rr: rr, lo: lo, hi: hi, wg: wg}
+	}
+	rr.RunRange(0, chunk)
+	wg.Wait()
+	wgPool.Put(wg)
+}
+
 // parallelRows splits the row range [0, m) into Workers() contiguous
 // chunks, runs the first chunk on the calling goroutine and the rest on
 // the pool, and waits for completion. run must be safe to execute

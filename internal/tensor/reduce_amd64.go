@@ -1,0 +1,19 @@
+//go:build amd64 && !purego
+
+package tensor
+
+// distSq16AVX returns Σ (a[i]-b[i])² for i in [0, n), n a positive
+// multiple of 16, converting float32 inputs to float64 and accumulating
+// in four 4-wide YMM double lanes (lane l holds Σ over i ≡ l mod 16).
+// The horizontal reduction is the fixed tree combine16 implements, and
+// every operation rounds individually (VSUBPD/VMULPD/VADDPD, no FMA) —
+// bit-identical to distSq16Go.
+//
+//go:noescape
+func distSq16AVX(a, b *float32, n int) float64
+
+// distSqMixed16AVX is distSq16AVX with a float64 left operand (loaded
+// directly, not converted). Bit-identical to distSqMixed16Go.
+//
+//go:noescape
+func distSqMixed16AVX(a *float64, b *float32, n int) float64

@@ -1,0 +1,117 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func distSq16AVX(a, b *float32, n int) float64
+//
+// Σ (a[i]-b[i])² for i in [0, n), n a positive multiple of 16. Each
+// iteration converts sixteen float32 pairs to float64 (VCVTPS2PD from
+// memory), subtracts, squares, and adds into four YMM accumulators:
+// Y0 holds lanes 0-3, Y1 lanes 4-7, Y2 lanes 8-11, Y3 lanes 12-15
+// (lane = i mod 16). Separate VMULPD/VADDPD — no FMA — so every
+// operation rounds exactly like the pure-Go mirror. The horizontal
+// reduction ((Y0+Y1)+(Y2+Y3), then low+high, then adjacent) is the
+// fixed tree combine16 implements.
+//
+// Register use:
+//	SI a cursor   DI b cursor   R9 iteration countdown (n/16)
+//	Y0-Y3 accumulators   Y4 a quad / difference   Y5 b quad
+TEXT ·distSq16AVX(SB), NOSPLIT, $0-32
+	MOVQ a+0(FP), SI
+	MOVQ b+8(FP), DI
+	MOVQ n+16(FP), R9
+	SHRQ $4, R9
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+
+loop:
+	VCVTPS2PD (SI), Y4
+	VCVTPS2PD (DI), Y5
+	VSUBPD    Y5, Y4, Y4
+	VMULPD    Y4, Y4, Y4
+	VADDPD    Y4, Y0, Y0
+	VCVTPS2PD 16(SI), Y4
+	VCVTPS2PD 16(DI), Y5
+	VSUBPD    Y5, Y4, Y4
+	VMULPD    Y4, Y4, Y4
+	VADDPD    Y4, Y1, Y1
+	VCVTPS2PD 32(SI), Y4
+	VCVTPS2PD 32(DI), Y5
+	VSUBPD    Y5, Y4, Y4
+	VMULPD    Y4, Y4, Y4
+	VADDPD    Y4, Y2, Y2
+	VCVTPS2PD 48(SI), Y4
+	VCVTPS2PD 48(DI), Y5
+	VSUBPD    Y5, Y4, Y4
+	VMULPD    Y4, Y4, Y4
+	VADDPD    Y4, Y3, Y3
+	ADDQ $64, SI
+	ADDQ $64, DI
+	DECQ R9
+	JNZ  loop
+
+	// combine16: ((Y0+Y1)+(Y2+Y3)) lane-wise, then low128+high128,
+	// then (u0+u2)+(u1+u3).
+	VADDPD Y1, Y0, Y0
+	VADDPD Y3, Y2, Y2
+	VADDPD Y2, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPD X1, X0, X0
+	VUNPCKHPD X0, X0, X1
+	VADDSD X1, X0, X0
+	VMOVSD X0, ret+24(FP)
+	VZEROUPPER
+	RET
+
+// func distSqMixed16AVX(a *float64, b *float32, n int) float64
+//
+// distSq16AVX with a float64 left operand loaded directly (VMOVUPD);
+// otherwise identical lane layout, arithmetic, and reduction.
+TEXT ·distSqMixed16AVX(SB), NOSPLIT, $0-32
+	MOVQ a+0(FP), SI
+	MOVQ b+8(FP), DI
+	MOVQ n+16(FP), R9
+	SHRQ $4, R9
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+
+mloop:
+	VMOVUPD   (SI), Y4
+	VCVTPS2PD (DI), Y5
+	VSUBPD    Y5, Y4, Y4
+	VMULPD    Y4, Y4, Y4
+	VADDPD    Y4, Y0, Y0
+	VMOVUPD   32(SI), Y4
+	VCVTPS2PD 16(DI), Y5
+	VSUBPD    Y5, Y4, Y4
+	VMULPD    Y4, Y4, Y4
+	VADDPD    Y4, Y1, Y1
+	VMOVUPD   64(SI), Y4
+	VCVTPS2PD 32(DI), Y5
+	VSUBPD    Y5, Y4, Y4
+	VMULPD    Y4, Y4, Y4
+	VADDPD    Y4, Y2, Y2
+	VMOVUPD   96(SI), Y4
+	VCVTPS2PD 48(DI), Y5
+	VSUBPD    Y5, Y4, Y4
+	VMULPD    Y4, Y4, Y4
+	VADDPD    Y4, Y3, Y3
+	ADDQ $128, SI
+	ADDQ $64, DI
+	DECQ R9
+	JNZ  mloop
+
+	VADDPD Y1, Y0, Y0
+	VADDPD Y3, Y2, Y2
+	VADDPD Y2, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPD X1, X0, X0
+	VUNPCKHPD X0, X0, X1
+	VADDSD X1, X0, X0
+	VMOVSD X0, ret+24(FP)
+	VZEROUPPER
+	RET

@@ -1,0 +1,14 @@
+//go:build !amd64 || purego
+
+package tensor
+
+// On builds without the AVX kernels useAVX is the constant false, so
+// these are never reached; they exist to satisfy the compiler.
+
+func distSq16AVX(a, b *float32, n int) float64 {
+	panic("tensor: distSq16AVX called without AVX support")
+}
+
+func distSqMixed16AVX(a *float64, b *float32, n int) float64 {
+	panic("tensor: distSqMixed16AVX called without AVX support")
+}

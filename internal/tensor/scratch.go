@@ -1,0 +1,48 @@
+package tensor
+
+import "sync"
+
+// Pooled flat scratch for the reduction kernels and their callers. The
+// aggregation operators need per-round float64 accumulators and distance
+// matrices at model dimension; allocating them fresh every round churned
+// hundreds of kilobytes per aggregation. The pools hand back whatever
+// capacity was last released, growing monotonically to the largest
+// request, so a steady-state federation round allocates nothing here.
+//
+// Contents of a Get slice are unspecified — callers that need zeros must
+// clear it (the kernels that write-before-read, like WeightedSumInto,
+// don't need to).
+
+var (
+	f64Pool = sync.Pool{New: func() any { return new([]float64) }}
+	f32Pool = sync.Pool{New: func() any { return new([]float32) }}
+)
+
+// GetF64 returns a pooled []float64 of length n with arbitrary contents.
+func GetF64(n int) []float64 {
+	p := f64Pool.Get().(*[]float64)
+	if cap(*p) < n {
+		*p = make([]float64, n)
+	}
+	return (*p)[:n]
+}
+
+// PutF64 releases a slice obtained from GetF64. The caller must not use
+// it afterwards.
+func PutF64(s []float64) {
+	f64Pool.Put(&s)
+}
+
+// GetF32 returns a pooled []float32 of length n with arbitrary contents.
+func GetF32(n int) []float32 {
+	p := f32Pool.Get().(*[]float32)
+	if cap(*p) < n {
+		*p = make([]float32, n)
+	}
+	return (*p)[:n]
+}
+
+// PutF32 releases a slice obtained from GetF32.
+func PutF32(s []float32) {
+	f32Pool.Put(&s)
+}
