@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short race vet ci bench bench-json bench-smoke bench-agg bench-guard test-chaos test-codec test-resume trace-smoke fuzz-smoke clean
+.PHONY: all build test test-short race vet ci bench bench-json bench-smoke bench-agg bench-guard test-attacks test-chaos test-codec test-resume trace-smoke fuzz-smoke clean
 
 # The substrate microbenchmarks tracked in BENCH_micro.json.
 MICRO_BENCH = BenchmarkMatMul128$$|BenchmarkConvForward$$|BenchmarkConvBackward$$|BenchmarkClassifierTrainEpoch$$|BenchmarkDecoderGenerate$$
@@ -41,11 +41,11 @@ vet:
 # ci is the gate for every change: static analysis, the short test suite
 # under the race detector (telemetry and fednet are concurrent), one
 # iteration of every substrate microbenchmark so a broken kernel fails
-# fast even when its unit tests are skipped, the fault-injection chaos
-# suite, the lossless-codec stack, the crash-recovery kill/resume drill,
-# the distributed-tracing smoke run, and bounded fuzz passes over the
-# wire, codec, and checkpoint decoders.
-ci: vet race bench-smoke bench-guard test-chaos test-codec test-resume trace-smoke fuzz-smoke
+# fast even when its unit tests are skipped, the adversary-suite gate,
+# the fault-injection chaos suite, the lossless-codec stack, the
+# crash-recovery kill/resume drill, the distributed-tracing smoke run,
+# and bounded fuzz passes over the wire, codec, and checkpoint decoders.
+ci: vet race bench-smoke bench-guard test-attacks test-chaos test-codec test-resume trace-smoke fuzz-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...
@@ -89,6 +89,15 @@ bench-guard:
 	  $(GO) test -run '^$$' -bench 'BenchmarkCheckpointWrite$$' -benchmem -benchtime=50x ./internal/persist/ ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkKrumScores$$|BenchmarkGeoMed$$|BenchmarkCoordinateMedian$$|BenchmarkServerApply$$' -benchmem -benchtime=20x . ; } \
 		| $(GO) run ./cmd/benchjson -guard BENCH_guard.json
+
+# test-attacks is the adversary-suite gate: the attack unit tests, the
+# fl-layer hook-dispatch and cohort-rewrite tests, and the matrix smoke
+# (a 2×2 grid asserting byte-identical CSV at -matrix-workers 1 vs 4).
+# Race on — the cohort hook and the matrix worker pool are concurrent.
+test-attacks:
+	$(GO) test -race ./internal/attack/
+	$(GO) test -race -run 'Attack|Cohort|StreamAuditGated' ./internal/fl/
+	$(GO) test -race -run 'Matrix' ./internal/experiment/
 
 # test-chaos runs the deterministic fault-injection suite — the faultnet
 # wrappers plus the fednet chaos/rejoin/quorum tests (skipped under

@@ -8,6 +8,13 @@
 //	fedsim -scenario label-flip-40 -strategy FedGuard -server-lr 0.3
 //	fedsim -preset paper -scenario additive-noise-50 -strategy Spectral
 //	fedsim -list
+//
+// With -matrix, fedsim instead sweeps an attack×strategy grid (the
+// adversary-suite evaluation) and prints a Table-IV-style pivot:
+//
+//	fedsim -preset quick -matrix -matrix-workers 4
+//	fedsim -matrix -matrix-scenarios sign-flip-50,alie-30,decoder-forge-30 \
+//	       -matrix-strategies FedAvg,Krum,FedGuard -matrix-csv matrix.csv
 package main
 
 import (
@@ -42,6 +49,13 @@ func main() {
 		confusion = flag.Bool("confusion", false, "print the final model's confusion matrix on the test set")
 		save      = flag.String("save", "", "write the final global model checkpoint to this path")
 		list      = flag.Bool("list", false, "list scenarios and strategies, then exit")
+
+		matrix           = flag.Bool("matrix", false, "sweep an attack×strategy grid instead of a single run")
+		matrixWorkers    = flag.Int("matrix-workers", 1, "concurrent matrix cells (results identical at any value)")
+		matrixScenarios  = flag.String("matrix-scenarios", "", "comma-separated scenario IDs for -matrix (default: the adversary-suite grid)")
+		matrixStrategies = flag.String("matrix-strategies", "", "comma-separated strategies for -matrix (default: FedAvg,Krum,FedGuard)")
+		matrixCSV        = flag.String("matrix-csv", "", "write the -matrix results as deterministic long-form CSV to this path")
+		matrixJSON       = flag.String("matrix-json", "", "write the -matrix results as JSON to this path")
 
 		events     = flag.String("events", "", "write a structured JSONL event log to this path")
 		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /healthz, expvar and pprof on this address (e.g. 127.0.0.1:6060)")
@@ -105,6 +119,30 @@ func main() {
 	if *workers > 0 {
 		setup.Workers = *workers
 	}
+	if *matrix {
+		if *matrixWorkers < 1 {
+			fatal(fmt.Errorf("-matrix-workers = %d", *matrixWorkers))
+		}
+		tel, cleanup, err := setupTelemetry(*events, *debugAddr, *metricsOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer cleanup()
+		runMatrixCLI(setup, matrixOpts{
+			workers:     *matrixWorkers,
+			scenarios:   *matrixScenarios,
+			strategies:  *matrixStrategies,
+			csvPath:     *matrixCSV,
+			jsonPath:    *matrixJSON,
+			serverLR:    *serverLR,
+			seed:        *seed,
+			aggWorkers:  *aggWork,
+			streamAudit: *streamAud,
+			tel:         tel,
+		})
+		return
+	}
+
 	sc, err := experiment.ScenarioByID(*scenario)
 	if err != nil {
 		fatal(err)
@@ -188,6 +226,90 @@ func main() {
 		fmt.Fprintf(os.Stderr, "checkpoint written to %s (%d parameters)\n",
 			*save, len(res.History.FinalWeights))
 	}
+}
+
+type matrixOpts struct {
+	workers     int
+	scenarios   string
+	strategies  string
+	csvPath     string
+	jsonPath    string
+	serverLR    float64
+	seed        uint64
+	aggWorkers  int
+	streamAudit bool
+	tel         *telemetry.T
+}
+
+// runMatrixCLI resolves the grid from the flag values and executes the
+// sweep, printing the pivot table on stdout and writing the optional
+// CSV/JSON artifacts.
+func runMatrixCLI(setup experiment.Setup, o matrixOpts) {
+	scenarios := experiment.MatrixScenarios()
+	if o.scenarios != "" {
+		scenarios = scenarios[:0]
+		for _, id := range strings.Split(o.scenarios, ",") {
+			sc, err := experiment.ScenarioByID(strings.TrimSpace(id))
+			if err != nil {
+				fatal(err)
+			}
+			scenarios = append(scenarios, sc)
+		}
+	}
+	strategies := []string{"FedAvg", "Krum", "FedGuard"}
+	if o.strategies != "" {
+		strategies = strategies[:0]
+		for _, s := range strings.Split(o.strategies, ",") {
+			strategies = append(strategies, strings.TrimSpace(s))
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "fedsim: matrix %d scenarios × %d strategies, %d worker(s)\n",
+		len(scenarios), len(strategies), o.workers)
+	cells, err := experiment.RunAttackMatrix(setup,
+		experiment.MatrixSpec{Scenarios: scenarios, Strategies: strategies},
+		experiment.MatrixOptions{
+			Workers:     o.workers,
+			ServerLR:    o.serverLR,
+			Seed:        o.seed,
+			AggWorkers:  o.aggWorkers,
+			StreamAudit: o.streamAudit,
+			Telemetry:   o.tel,
+			Progress:    os.Stderr,
+		})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(experiment.FormatMatrixTable(cells))
+
+	if o.csvPath != "" {
+		if err := writeFileWith(o.csvPath, func(w *os.File) error {
+			return experiment.WriteMatrixCSV(w, cells)
+		}); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "fedsim: matrix CSV written to %s\n", o.csvPath)
+	}
+	if o.jsonPath != "" {
+		if err := writeFileWith(o.jsonPath, func(w *os.File) error {
+			return experiment.WriteMatrixJSON(w, cells)
+		}); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "fedsim: matrix JSON written to %s\n", o.jsonPath)
+	}
+}
+
+func writeFileWith(path string, fn func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // setupTelemetry assembles the run's observability from the three

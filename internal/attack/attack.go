@@ -1,13 +1,21 @@
-// Package attack implements the four poisoning attacks of the paper's
-// §IV-B threat evaluation: same-value and sign-flipping model attacks,
-// the colluding additive-noise model attack, and the targeted
-// label-flipping data attack — plus the benign no-op.
+// Package attack implements the poisoning attacks of the paper's §IV-B
+// threat evaluation — same-value and sign-flipping model attacks, the
+// colluding additive-noise model attack, and the targeted label-flipping
+// data attack — plus the benign no-op and an extension suite of
+// defense-aware adversaries: model replacement (ScaledBoost), the
+// colluding ALIE and inner-product-manipulation attacks, the
+// AGR-tailored min-max attack, and the decoder-forging adaptive attack
+// against FedGuard (see adaptive.go).
 //
 // An Attack has two hooks matching the two poisoning families:
 // PoisonData rewrites the client's local training view before any
 // training happens (data poisoning), and PoisonModel rewrites the trained
 // parameter vector just before upload (model poisoning). A malicious
-// client applies both; benign hooks are identity.
+// client applies both; benign hooks are identity. Optional extension
+// interfaces add capabilities: GlobalAware attacks see the round's
+// starting global, CVAEDataAware attacks poison the classifier's and the
+// CVAE's training views differently, and CohortAware attacks jointly
+// rewrite the whole malicious cohort's drafts after local training.
 package attack
 
 import (
@@ -94,11 +102,18 @@ func (a *SignFlip) PoisonModel(w []float32, r *rng.RNG) {
 // Per the paper, all malicious clients collude on the *same* ε, so one
 // AdditiveNoise instance must be shared by every malicious client; the
 // noise vector is drawn once, on first use, from a dedicated stream.
+//
+// The latched vector makes an instance single-run: reusing it for a
+// second run silently replays the first run's noise, and panics if the
+// model dimension changed. Runners executing many runs (the experiment
+// matrix) must construct a fresh instance per run — experiment.NewAttack
+// does — or call Reset between runs.
 type AdditiveNoise struct {
 	Std float64
 
-	seed  uint64
-	once  sync.Once
+	seed uint64
+
+	mu    sync.Mutex
 	noise []float32
 }
 
@@ -119,16 +134,39 @@ func (a *AdditiveNoise) PoisonData(ds *dataset.Dataset, indices []int) (*dataset
 // PoisonModel adds the shared noise vector, drawing it on first call.
 // Safe for concurrent use by colluding clients.
 func (a *AdditiveNoise) PoisonModel(w []float32, r *rng.RNG) {
-	a.once.Do(func() {
+	a.mu.Lock()
+	if a.noise == nil {
 		a.noise = make([]float32, len(w))
 		rng.New(a.seed).FillNormal(a.noise, 0, a.Std)
-	})
-	if len(a.noise) != len(w) {
+	}
+	noise := a.noise
+	a.mu.Unlock()
+	if len(noise) != len(w) {
 		panic("attack: AdditiveNoise used with models of different sizes")
 	}
 	for i := range w {
-		w[i] += a.noise[i]
+		w[i] += noise[i]
 	}
+}
+
+// Reset implements Resettable: it discards the latched noise vector so
+// the next PoisonModel redraws it (from the same seed) at the then
+// current model dimension. Call between runs when reusing an instance;
+// constructing a fresh instance per run is equivalent.
+func (a *AdditiveNoise) Reset() {
+	a.mu.Lock()
+	a.noise = nil
+	a.mu.Unlock()
+}
+
+// Resettable is implemented by attacks that latch per-run state (the
+// colluding AdditiveNoise vector). An instance reused across runs must
+// be Reset between them; per-run construction — what experiment.NewAttack
+// and the matrix runner do — satisfies the contract without it.
+type Resettable interface {
+	Attack
+	// Reset discards all state latched since construction.
+	Reset()
 }
 
 // LabelFlip is the targeted data-poisoning attack: training labels are

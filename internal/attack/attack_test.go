@@ -181,6 +181,11 @@ func TestAttackNames(t *testing.T) {
 		"sign-flip":      NewSignFlip(),
 		"additive-noise": NewAdditiveNoise(1, 1),
 		"label-flip":     NewLabelFlip(),
+		"scaled-boost":   NewScaledBoost(10),
+		"alie":           NewALIE(),
+		"ipm":            NewIPM(),
+		"min-max":        NewMinMax(""),
+		"decoder-forge":  NewDecoderForge(),
 	}
 	for want, a := range cases {
 		if a.Name() != want {

@@ -73,8 +73,8 @@ func TestDataDeterministicAndDisjointStreams(t *testing.T) {
 
 func TestScenarioRegistry(t *testing.T) {
 	scs := Scenarios()
-	if len(scs) != 6 {
-		t.Fatalf("%d scenarios, want 6", len(scs))
+	if len(scs) != 11 {
+		t.Fatalf("%d scenarios, want 11", len(scs))
 	}
 	ids := map[string]bool{}
 	for _, sc := range scs {
@@ -94,6 +94,15 @@ func TestScenarioRegistry(t *testing.T) {
 	}
 	if got := len(TableIVScenarios()); got != 4 {
 		t.Fatalf("TableIVScenarios = %d, want 4", got)
+	}
+	if got := len(MatrixScenarios()); got != 4 {
+		t.Fatalf("MatrixScenarios = %d, want 4", got)
+	}
+	// Every registry name resolves, and every scenario uses a registry name.
+	for _, name := range AttackNames() {
+		if _, err := NewAttack(name, 1); err != nil {
+			t.Fatalf("AttackNames lists unresolvable %q: %v", name, err)
+		}
 	}
 }
 

@@ -1,0 +1,144 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fedguard/internal/telemetry"
+)
+
+// matrixTestSetup shrinks the quick preset to the smallest federation
+// that still exercises FedGuard's audit path, so a 2×2 matrix stays
+// affordable under -race.
+func matrixTestSetup() Setup {
+	s := MustSetup(PresetQuick)
+	s.TrainSize, s.TestSize, s.AuxSize = 600, 100, 100
+	s.NumClients, s.PerRound, s.Rounds = 6, 4, 2
+	s.Train.Epochs = 1
+	s.CVAE.Hidden = 32
+	s.CVAETrain.Epochs = 2
+	s.Samples = 20
+	s.LastN = 2
+	s.TestSubset = 100
+	return s
+}
+
+func matrixTestSpec() MatrixSpec {
+	sf := mustScenario("sign-flip-50")
+	df := mustScenario("decoder-forge-30")
+	return MatrixSpec{
+		Scenarios:  []Scenario{sf, df},
+		Strategies: []string{"FedAvg", "FedGuard"},
+	}
+}
+
+func mustScenario(id string) Scenario {
+	sc, err := ScenarioByID(id)
+	if err != nil {
+		panic(err)
+	}
+	return sc
+}
+
+// TestMatrixDeterministicAcrossWorkers is the CI smoke the adversary
+// suite ships with: the same 2×2 grid at 1 and at 4 workers must render
+// byte-identical CSV — cell results land at their grid index and contain
+// no schedule-dependent numbers.
+func TestMatrixDeterministicAcrossWorkers(t *testing.T) {
+	setup := matrixTestSetup()
+	spec := matrixTestSpec()
+
+	sink := &telemetry.CollectSink{}
+	run := func(workers int, tel *telemetry.T) string {
+		cells, err := RunAttackMatrix(setup, spec, MatrixOptions{Workers: workers, Telemetry: tel})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(cells) != 4 {
+			t.Fatalf("workers=%d: %d cells, want 4", workers, len(cells))
+		}
+		// Grid order: scenario-major, strategies inner.
+		wantOrder := []string{
+			"sign-flip-50/FedAvg", "sign-flip-50/FedGuard",
+			"decoder-forge-30/FedAvg", "decoder-forge-30/FedGuard",
+		}
+		for i, c := range cells {
+			if got := c.Scenario.ID + "/" + c.Strategy; got != wantOrder[i] {
+				t.Fatalf("workers=%d: cell %d is %s, want %s", workers, i, got, wantOrder[i])
+			}
+			if c.MaliciousExclusionRate < 0 || c.MaliciousExclusionRate > 1 ||
+				c.BenignExclusionRate < 0 || c.BenignExclusionRate > 1 {
+				t.Fatalf("workers=%d: cell %d has out-of-range exclusion rates: %+v", workers, i, c)
+			}
+			if c.Strategy == "FedAvg" && c.Excluded != 0 {
+				t.Fatalf("workers=%d: FedAvg excluded %d updates", workers, c.Excluded)
+			}
+			if c.MaliciousSampled == 0 {
+				t.Fatalf("workers=%d: cell %d sampled no malicious clients", workers, i)
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteMatrixCSV(&buf, cells); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+
+	csv1 := run(1, nil)
+	csv4 := run(4, telemetry.New(sink))
+	if csv1 != csv4 {
+		t.Fatalf("CSV differs across worker counts:\n--- workers=1 ---\n%s--- workers=4 ---\n%s", csv1, csv4)
+	}
+	if got := len(sink.ByKind("MatrixCellCompleted")); got != 4 {
+		t.Fatalf("%d MatrixCellCompleted events, want 4", got)
+	}
+	if strings.Count(csv1, "\n") != 5 {
+		t.Fatalf("CSV has %d lines, want header + 4 rows:\n%s", strings.Count(csv1, "\n"), csv1)
+	}
+	if !strings.HasPrefix(csv1, "scenario,attack,malicious_fraction,strategy,") {
+		t.Fatalf("unexpected CSV header:\n%s", csv1)
+	}
+}
+
+func TestMatrixValidation(t *testing.T) {
+	setup := matrixTestSetup()
+	ok := matrixTestSpec()
+
+	if _, err := RunAttackMatrix(setup, MatrixSpec{}, MatrixOptions{}); err == nil {
+		t.Fatal("empty grid accepted")
+	}
+	bad := ok
+	bad.Strategies = []string{"FedAvg", "Quantum"}
+	if _, err := RunAttackMatrix(setup, bad, MatrixOptions{}); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+	bad = ok
+	bad.Scenarios = []Scenario{{ID: "x", Attack: "quantum"}}
+	if _, err := RunAttackMatrix(setup, bad, MatrixOptions{}); err == nil {
+		t.Fatal("unknown attack accepted")
+	}
+}
+
+func TestFormatMatrixTablePivot(t *testing.T) {
+	cells := []MatrixCell{
+		{Scenario: Scenario{ID: "a"}, Strategy: "FedAvg", Mean: 0.5},
+		{Scenario: Scenario{ID: "a"}, Strategy: "FedGuard", Mean: 0.8, Excluded: 3},
+		{Scenario: Scenario{ID: "b"}, Strategy: "FedAvg", Mean: 0.4},
+		{Scenario: Scenario{ID: "b"}, Strategy: "FedGuard", Err: "boom"},
+	}
+	out := FormatMatrixTable(cells)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("pivot too short:\n%s", out)
+	}
+	if !strings.Contains(lines[0], "FedAvg") || !strings.Contains(lines[0], "FedGuard") {
+		t.Fatalf("header missing strategies:\n%s", out)
+	}
+	if !strings.Contains(out, "ERROR") {
+		t.Fatalf("failed cell not marked:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatalf("excluding cell not starred:\n%s", out)
+	}
+}

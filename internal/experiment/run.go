@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"fedguard/internal/attack"
 	"fedguard/internal/fl"
 	"fedguard/internal/persist"
 	"fedguard/internal/telemetry"
@@ -70,6 +71,9 @@ func Run(setup Setup, sc Scenario, strategyName string, opts RunOptions) (*Resul
 	att, err := NewAttack(sc.Attack, setup.Seed)
 	if err != nil {
 		return nil, err
+	}
+	if tt, ok := att.(attack.AGRTailored); ok {
+		tt.TailorTo(strategyName)
 	}
 	strat := opts.Strategy
 	if strat == nil {

@@ -10,21 +10,27 @@ import (
 	"fedguard/internal/rng"
 )
 
-// Scenario is one attack configuration of the paper's §IV-B.
+// Scenario is one attack configuration of the paper's §IV-B or of the
+// extension adversary suite.
 type Scenario struct {
 	// ID is a stable slug ("sign-flip-50").
 	ID string
-	// Attack names the attack ("none", "same-value", "sign-flip",
-	// "additive-noise", "label-flip").
+	// Attack names the attack. The registry NewAttack resolves — the
+	// full set of valid values — is: "none", "same-value", "sign-flip",
+	// "additive-noise", "label-flip", "scaled-boost", "alie", "ipm",
+	// "min-max", "decoder-forge".
 	Attack string
 	// MaliciousFraction of the client population runs the attack.
 	MaliciousFraction float64
-	// Description summarizes the paper's setting.
+	// Description summarizes the setting.
 	Description string
 }
 
 // Scenarios returns the paper's five evaluation scenarios (Fig. 4 /
-// Table IV) plus the Fig. 5 stress scenario.
+// Table IV), the Fig. 5 stress scenario, and the extension adversary
+// suite: model replacement, the colluding ALIE/IPM attacks, the
+// AGR-tailored min-max attack, and the decoder-forging adaptive attack
+// against FedGuard.
 func Scenarios() []Scenario {
 	return []Scenario{
 		{ID: "no-attack", Attack: "none", MaliciousFraction: 0,
@@ -39,6 +45,16 @@ func Scenarios() []Scenario {
 			Description: "50% malicious peers uploading all-ones updates"},
 		{ID: "label-flip-40", Attack: "label-flip", MaliciousFraction: 0.4,
 			Description: "40% malicious label flippers (Fig. 5 stress test)"},
+		{ID: "scaled-boost-10", Attack: "scaled-boost", MaliciousFraction: 0.1,
+			Description: "10% malicious peers boosting their deltas 10x (model replacement)"},
+		{ID: "alie-30", Attack: "alie", MaliciousFraction: 0.3,
+			Description: "30% colluders submitting mean - 1.5 std of their drafts (ALIE)"},
+		{ID: "ipm-30", Attack: "ipm", MaliciousFraction: 0.3,
+			Description: "30% colluders submitting the negated scaled cohort mean (IPM)"},
+		{ID: "min-max-30", Attack: "min-max", MaliciousFraction: 0.3,
+			Description: "30% colluders at the largest deviation surviving the aggregator (min-max)"},
+		{ID: "decoder-forge-30", Attack: "decoder-forge", MaliciousFraction: 0.3,
+			Description: "30% adaptive peers with clean CVAEs and targeted 5->7 classifiers"},
 	}
 }
 
@@ -80,9 +96,40 @@ func NewAttack(name string, seed uint64) (attack.Attack, error) {
 		return attack.NewAdditiveNoise(0.5, rng.DeriveSeed(seed, "noise", 0)), nil
 	case "label-flip":
 		return attack.NewLabelFlip(), nil
+	case "scaled-boost":
+		return attack.NewScaledBoost(attack.DefaultBoostLambda), nil
+	case "alie":
+		return attack.NewALIE(), nil
+	case "ipm":
+		return attack.NewIPM(), nil
+	case "min-max":
+		return attack.NewMinMax(""), nil
+	case "decoder-forge":
+		return attack.NewDecoderForge(), nil
 	default:
 		return nil, fmt.Errorf("experiment: unknown attack %q", name)
 	}
+}
+
+// AttackNames lists every attack NewAttack resolves, in registry order.
+func AttackNames() []string {
+	return []string{"none", "same-value", "sign-flip", "additive-noise",
+		"label-flip", "scaled-boost", "alie", "ipm", "min-max",
+		"decoder-forge"}
+}
+
+// MatrixScenarios returns the default attack×strategy sweep rows: one
+// static attack and the three adaptive/colluding attacks, the grid the
+// extension evaluation (README "Adversary suite") reports.
+func MatrixScenarios() []Scenario {
+	var out []Scenario
+	for _, sc := range Scenarios() {
+		switch sc.ID {
+		case "sign-flip-50", "alie-30", "min-max-30", "decoder-forge-30":
+			out = append(out, sc)
+		}
+	}
+	return out
 }
 
 // StrategyNames lists the comparison set of Table IV in paper order.

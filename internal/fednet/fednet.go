@@ -162,6 +162,13 @@ func (c *Config) tolerant() bool { return c.MinClientsPerRound > 0 }
 // instances built from the same seed draw the same collusive noise
 // vector, so per-client construction preserves the paper's collusion
 // semantics.
+//
+// The colluding extension attacks (alie, ipm, min-max) are accepted but
+// run their solo fallbacks here: networked clients cannot observe their
+// co-conspirators' drafts, so each degrades to the cohort-of-one limit
+// of its formula (ALIE and min-max become no-ops, IPM negates and
+// scales the client's own draft). Use the in-process experiment matrix
+// for full-collusion results.
 func NewAttackByName(name string, seed uint64) (attack.Attack, error) {
 	switch name {
 	case "", "none":
@@ -174,6 +181,16 @@ func NewAttackByName(name string, seed uint64) (attack.Attack, error) {
 		return attack.NewAdditiveNoise(0.5, seed), nil
 	case "label-flip":
 		return attack.NewLabelFlip(), nil
+	case "scaled-boost":
+		return attack.NewScaledBoost(attack.DefaultBoostLambda), nil
+	case "alie":
+		return attack.NewALIE(), nil
+	case "ipm":
+		return attack.NewIPM(), nil
+	case "min-max":
+		return attack.NewMinMax(""), nil
+	case "decoder-forge":
+		return attack.NewDecoderForge(), nil
 	default:
 		return nil, fmt.Errorf("fednet: unknown attack %q", name)
 	}

@@ -386,7 +386,8 @@ func TestNewServerValidation(t *testing.T) {
 }
 
 func TestNewAttackByName(t *testing.T) {
-	for _, name := range []string{"", "none", "same-value", "sign-flip", "additive-noise", "label-flip"} {
+	for _, name := range []string{"", "none", "same-value", "sign-flip", "additive-noise",
+		"label-flip", "scaled-boost", "alie", "ipm", "min-max", "decoder-forge"} {
 		if _, err := NewAttackByName(name, 1); err != nil {
 			t.Fatalf("%q: %v", name, err)
 		}

@@ -112,6 +112,18 @@ func (c *Client) view() (*dataset.Dataset, []int) {
 	return c.viewDS, c.viewIndices
 }
 
+// cvaeView returns the training view for the client's CVAE. Attacks
+// that poison the classifier's and the generator's data differently (the
+// decoder-forging adaptive attack) implement attack.CVAEDataAware and
+// get a dedicated view; every other attack trains both models on the
+// same poisoned view, the paper's behaviour.
+func (c *Client) cvaeView() (*dataset.Dataset, []int) {
+	if ca, ok := c.att.(attack.CVAEDataAware); ok {
+		return ca.PoisonCVAEData(c.ds, c.indices[:c.visible])
+	}
+	return c.view()
+}
+
 // RunRound executes one federated round for this client: load the global
 // parameters, train locally, apply the model-poisoning hook, and return
 // the update. When needDecoder is set the client also attaches its CVAE
@@ -166,7 +178,7 @@ func (c *Client) decoderPayload(parent *telemetry.Span) ([]float32, []int) {
 	if c.decoder == nil || stale {
 		_, stop := c.tel.StartPhase(parent, "client.cvae_train")
 		defer stop()
-		ds, indices := c.view()
+		ds, indices := c.cvaeView()
 		m := cvae.New(c.cfg.CVAE, c.rng)
 		m.Train(ds, indices, c.cfg.CVAETrain, c.rng)
 		c.decoder = m.DecoderParams()

@@ -3,6 +3,7 @@ package fl
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -307,14 +308,23 @@ func (f *Federation) run(strategy Strategy, onRound func(RoundRecord), resume *C
 			Report:    map[string]float64{},
 			Telemetry: tel,
 		}
+		// A cohort-aware attack rewrites the malicious drafts after the
+		// round barrier, so updates streamed as they land would be
+		// pre-rewrite; rounds with such a cohort fall back to the batch
+		// audit path (benign rounds still stream).
+		_, cohortAttack := cfg.Attack.(attack.CohortAware)
 		var stream RoundStream
-		if cfg.StreamAudit {
+		if cfg.StreamAudit && !(cohortAttack && len(attackIDs) > 0) {
 			if ss, ok := strategy.(StreamingStrategy); ok {
 				stream = ss.BeginRound(ctx, len(sampled))
 			}
 		}
 		updates := make([]Update, len(sampled))
 		f.trainSampled(clients, sampled, global, needDecoders, updates, stream, roundSpan)
+		if cohortAttack && len(attackIDs) > 0 {
+			applyCohortAttack(cfg.Attack.(attack.CohortAware), updates, sampled,
+				f.MaliciousIDs, cfg.Seed, round)
+		}
 		trainSecs := time.Since(trainStart).Seconds()
 
 		aggStart := time.Now()
@@ -433,6 +443,32 @@ func (f *Federation) run(strategy Strategy, onRound func(RoundRecord), resume *C
 		TotalSeconds:  time.Since(runStart).Seconds(),
 	})
 	return history, nil
+}
+
+// applyCohortAttack hands the round's malicious drafts to a
+// CohortAware attack for a joint rewrite: the threat model's colluders
+// exchanging their locally trained updates before upload. Drafts are
+// ordered by ascending client ID and the cohort RNG is derived from
+// (seed, round), so the rewrite is deterministic for a given sample set
+// — including across a checkpoint resume — regardless of training
+// goroutine scheduling.
+func applyCohortAttack(ca attack.CohortAware, updates []Update, sampled []int, malicious map[int]bool, seed uint64, round int) {
+	var slots []int
+	for i, id := range sampled {
+		if malicious[id] {
+			slots = append(slots, i)
+		}
+	}
+	sort.Slice(slots, func(a, b int) bool {
+		return sampled[slots[a]] < sampled[slots[b]]
+	})
+	drafts := make([][]float32, len(slots))
+	ids := make([]int, len(slots))
+	for k, i := range slots {
+		drafts[k] = updates[i].Weights
+		ids[k] = sampled[i]
+	}
+	ca.PoisonCohort(drafts, ids, rng.New(rng.DeriveSeed(seed, "cohort", uint64(round))))
 }
 
 // RecordAggregate publishes one round's server-side aggregation cost to

@@ -159,6 +159,27 @@ type RunCompleted struct {
 // Kind implements Event.
 func (RunCompleted) Kind() string { return "RunCompleted" }
 
+// MatrixCellCompleted records one finished cell of an attack×strategy
+// evaluation matrix: its grid coordinates, summary accuracy, and the
+// defense's exclusion performance against the cell's adversary.
+type MatrixCellCompleted struct {
+	Scenario      string  `json:"scenario"`
+	Strategy      string  `json:"strategy"`
+	MeanAccuracy  float64 `json:"mean_accuracy"`
+	StdAccuracy   float64 `json:"std_accuracy"`
+	FinalAccuracy float64 `json:"final_accuracy"`
+	// MaliciousExclusionRate is excluded-malicious / sampled-malicious
+	// update slots; BenignExclusionRate is the benign counterpart (the
+	// defense's false-positive rate).
+	MaliciousExclusionRate float64 `json:"malicious_exclusion_rate"`
+	BenignExclusionRate    float64 `json:"benign_exclusion_rate"`
+	Seconds                float64 `json:"seconds"`
+	Err                    string  `json:"err,omitempty"`
+}
+
+// Kind implements Event.
+func (MatrixCellCompleted) Kind() string { return "MatrixCellCompleted" }
+
 // Sink consumes structured events. Implementations must be safe for
 // concurrent use; Emit must never panic the run.
 type Sink interface {
